@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import BENCH_DATASET_SIZE, BENCH_SEED, bench_training_dataset
+from repro.experiments.runner import ExperimentRunner
+from repro.prompts.dataset import PromptDataset
+from repro.quality.pickscore import PickScoreModel
+from repro.workloads.traces import TraceLibrary
+
+
+@pytest.fixture(scope="session")
+def trace_library() -> TraceLibrary:
+    return TraceLibrary(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(seed=BENCH_SEED, dataset_size=BENCH_DATASET_SIZE, drain_s=120.0)
+
+
+@pytest.fixture(scope="session")
+def training_dataset() -> PromptDataset:
+    return bench_training_dataset()
+
+
+@pytest.fixture(scope="session")
+def eval_prompts() -> list:
+    """Prompt sample used by the offline (non-serving) figure benchmarks."""
+    return PromptDataset.synthetic(count=2000, seed=BENCH_SEED + 7).prompts
+
+
+@pytest.fixture(scope="session")
+def pickscore() -> PickScoreModel:
+    return PickScoreModel(seed=BENCH_SEED)

@@ -1,0 +1,33 @@
+"""Fig. 5: single-image inference latency of Tiny / SD-1.5 / SD-XL across
+V100, A10G and A100 GPUs."""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.models.latency import LatencyModel
+from repro.models.variants import variant_by_name
+
+
+def test_fig05_latency_across_gpus(benchmark):
+    variants = [variant_by_name(name) for name in ("Tiny-SD", "SD-1.5", "SD-XL")]
+
+    def build_matrix():
+        return LatencyModel("A100").latency_matrix(variants)
+
+    matrix = benchmark(build_matrix)
+
+    rows = []
+    for gpu, per_model in sorted(matrix.items()):
+        row = {"gpu": gpu}
+        row.update({name: latency for name, latency in per_model.items()})
+        rows.append(row)
+    print_table("Fig. 5: inference latency (seconds) by GPU and model", rows)
+
+    # Shape checks from the paper: newer GPUs are faster for every model, but
+    # SD-XL stays slow even on the A100 (~4.2 s) and is ~10 s on an A10G.
+    for gpu in ("V100", "A10G"):
+        for variant in variants:
+            assert matrix[gpu][variant.name] > matrix["A100"][variant.name]
+    assert 4.0 < matrix["A100"]["SD-XL"] < 4.5
+    assert matrix["A10G"]["SD-XL"] > 8.0
+    assert matrix["A100"]["Tiny-SD"] < matrix["A100"]["SD-XL"]

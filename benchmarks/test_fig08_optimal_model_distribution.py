@@ -1,0 +1,54 @@
+"""Fig. 8: distribution of prompts across their optimal model choices.
+
+For both the SM variants and the AC levels, a substantial fraction of
+prompts is optimally served by an approximated variant; the figure also
+shows how the distribution shifts when the largest model(s) are removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.helpers import print_table
+from repro.models.zoo import Strategy
+from repro.quality.optimal import OptimalModelSelector
+
+
+def test_fig08_optimal_model_distribution(benchmark, pickscore, eval_prompts):
+    selector = OptimalModelSelector(pickscore)
+    prompts = eval_prompts
+
+    def compute():
+        out = {}
+        for strategy in (Strategy.SM, Strategy.AC):
+            out[strategy] = {
+                "all": selector.affinity_distribution(prompts, strategy),
+                "without_m1": selector.affinity_distribution_excluding(prompts, strategy, {0}),
+                "without_m1_m2": selector.affinity_distribution_excluding(
+                    prompts, strategy, {0, 1}
+                ),
+            }
+        return out
+
+    distributions = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for strategy, variants in distributions.items():
+        rows = []
+        for scenario, dist in variants.items():
+            row = {"scenario": scenario}
+            row.update({f"rank{r}": float(dist[r]) for r in range(len(dist))})
+            rows.append(row)
+        print_table(f"Fig. 8 ({strategy.value}): fraction of prompts per optimal level", rows)
+
+    for strategy in (Strategy.SM, Strategy.AC):
+        full = distributions[strategy]["all"]
+        # A substantial fraction of prompts tolerates approximation
+        # (Observation 1) while a non-trivial fraction still needs the
+        # largest model.
+        assert full[0] < 0.5
+        assert np.sum(full[3:]) > 0.3
+        np.testing.assert_allclose(np.sum(full), 1.0)
+        # Removing the largest model pushes its prompts onto the next levels.
+        reduced = distributions[strategy]["without_m1"]
+        assert reduced[0] == 0.0
+        assert reduced[1] >= full[1]

@@ -1,0 +1,53 @@
+"""Fig. 13: quality-throughput Pareto frontier across model variants,
+quantised variants and AC levels.
+
+The paper's observation: AC variants frequently lie on the Pareto frontier —
+they offer better quality at similar or higher throughput than the
+corresponding small/distilled models.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.models.zoo import ModelZoo
+from repro.quality.profiles import QualityProfiler, pareto_frontier
+
+
+def test_fig13_quality_throughput_pareto(benchmark, pickscore, eval_prompts):
+    zoo = ModelZoo()
+    profiler = QualityProfiler(zoo, pickscore)
+    prompts = eval_prompts[:1200]
+
+    def compute():
+        points = profiler.pareto_scatter(prompts)
+        return points, pareto_frontier(points)
+
+    points, frontier = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "name": p.name,
+            "family": p.family,
+            "throughput_ipm": p.throughput_ipm,
+            "median_pickscore": p.median_pickscore,
+            "on_frontier": p in frontier,
+        }
+        for p in sorted(points, key=lambda p: p.throughput_ipm)
+    ]
+    print_table("Fig. 13: quality vs throughput scatter", rows)
+
+    assert len(points) == 18  # 6 SM + 6 quantised + 6 AC levels
+    ac_frontier = sum(1 for p in frontier if p.family == "AC")
+    # AC variants frequently lie on the Pareto frontier (the paper's key
+    # takeaway): most AC levels are non-dominated, and AC is at least as
+    # represented on the frontier as its share of the candidate pool.
+    assert ac_frontier >= 4
+    assert ac_frontier / len(frontier) >= 6 / 18 - 1e-9
+    # At matched throughput the AC level beats the SM variant's quality for
+    # the mid-range of the spectrum (e.g. K=20 vs Small-SD, K=25 vs Tiny-SD).
+    by_name = {p.name: p for p in points}
+    assert by_name["K=20"].median_pickscore > by_name["Small-SD"].median_pickscore
+    assert by_name["K=25"].median_pickscore > by_name["Tiny-SD"].median_pickscore
+    # The frontier spans both the high-quality and the high-throughput ends.
+    assert max(p.throughput_ipm for p in frontier) > 20.0
+    assert max(p.median_pickscore for p in frontier) > 20.0

@@ -1,0 +1,37 @@
+"""Fig. 14 (and Observation 5): throughput speed-up vs batch size.
+
+Traditional models keep gaining from batching; diffusion models plateau at
+small batch sizes because they are compute-bound.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.models.batching import BatchingModel
+
+BATCH_SIZES = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig14_batching_speedup(benchmark):
+    model = BatchingModel()
+
+    def compute():
+        return model.table(BATCH_SIZES)
+
+    table = benchmark(compute)
+
+    rows = []
+    for name, speedups in table.items():
+        row = {"model": name}
+        row.update({f"batch_{b}": s for b, s in zip(BATCH_SIZES, speedups)})
+        rows.append(row)
+    print_table("Fig. 14: throughput speed-up vs batch size", rows)
+
+    # Non-DM models scale well past batch 16; DMs plateau under 2x.
+    assert table["YOLOv5n"][-2] > 5.0
+    assert table["ResNet50"][-2] > 4.0
+    for dm in ("SD-XL", "SD-2.0", "Small-SD"):
+        assert table[dm][-1] < 2.0
+    # SD-Tiny batches marginally better than SD-XL but still far below YOLO.
+    assert table["Tiny-SD"][-1] > table["SD-XL"][-1]
+    assert table["Tiny-SD"][-1] < table["YOLOv5n"][-1] / 3

@@ -1,0 +1,36 @@
+"""Fig. 15: roofline placement of DMs vs traditional DL models on an A100."""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.models.roofline import RooflineModel
+
+
+def test_fig15_roofline(benchmark):
+    roofline = RooflineModel("A100")
+
+    def compute():
+        return roofline.full_plot()
+
+    points = benchmark(compute)
+
+    rows = [
+        {
+            "model": p.name,
+            "arithmetic_intensity": p.arithmetic_intensity,
+            "attainable_tflops": p.attainable_tflops,
+            "compute_bound": p.compute_bound,
+        }
+        for p in sorted(points, key=lambda p: p.arithmetic_intensity)
+    ]
+    print_table(
+        f"Fig. 15: roofline on A100 (ridge point = {roofline.ridge_point:.1f} FLOP/byte)", rows
+    )
+
+    by_name = {p.name: p for p in points}
+    # Diffusion models sit right of the ridge point (compute-bound)...
+    for dm in ("Tiny-SD", "Small-SD", "SD-2.0", "SD-XL"):
+        assert by_name[dm].compute_bound
+    # ...while the traditional vision models sit left of it (memory-bound).
+    for traditional in ("YOLOv5n", "ResNet50", "EfficientNet-b4"):
+        assert not by_name[traditional].compute_bound

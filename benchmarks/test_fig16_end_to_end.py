@@ -1,0 +1,99 @@
+"""Fig. 16: end-to-end comparison of Argus against all baselines on the
+Twitter-shaped, bursty and SysX-shaped workloads.
+
+For each (workload, system) pair the benchmark reports served throughput,
+SLO violation ratio and relative quality — the three panels of Fig. 16.
+The paper's headline claims checked here:
+
+* Argus meets the offered load with the lowest SLO violation ratio among
+  the adaptive systems (up to ~10x lower than Proteus/Sommelier);
+* Argus's quality is higher than every scalable baseline (only the
+  non-scalable Clipper-HA and the non-adaptive NIRVANA score higher);
+* Clipper-HA cannot keep up (most SLO violations), Clipper-HT keeps up with
+  the worst quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import BENCH_TRACE_MINUTES, bench_config, print_series, print_table
+from repro.experiments.runner import build_system
+
+SYSTEMS = ["argus", "pac", "proteus", "sommelier", "nirvana", "clipper-ha", "clipper-ht"]
+
+
+@pytest.fixture(scope="module")
+def fig16_results(runner, trace_library, training_dataset):
+    traces = {
+        "twitter": trace_library.twitter_like(duration_minutes=BENCH_TRACE_MINUTES),
+        "bursty": trace_library.bursty(duration_minutes=BENCH_TRACE_MINUTES),
+        "sysx": trace_library.sysx_like(duration_minutes=BENCH_TRACE_MINUTES),
+    }
+    results = {}
+    for trace_name, trace in traces.items():
+        for system_name in SYSTEMS:
+            system = build_system(
+                system_name, config=bench_config(), training_dataset=training_dataset
+            )
+            results[(trace_name, system_name)] = runner.run(system, trace)
+    return traces, results
+
+
+def test_fig16_end_to_end_comparison(benchmark, fig16_results):
+    traces, results = fig16_results
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    for trace_name in traces:
+        rows = []
+        for system_name in SYSTEMS:
+            summary = results[(trace_name, system_name)].summary
+            rows.append(
+                {
+                    "system": summary.system,
+                    "served_qpm": summary.mean_served_qpm,
+                    "offered_qpm": traces[trace_name].mean_qpm,
+                    "slo_violation_ratio": summary.slo_violation_ratio,
+                    "relative_quality": summary.mean_relative_quality,
+                    "effective_accuracy": summary.effective_accuracy,
+                    "model_loads": summary.model_loads,
+                }
+            )
+        print_table(f"Fig. 16 ({trace_name}): end-to-end comparison", rows)
+        argus_series = results[(trace_name, "argus")]
+        print_series(
+            f"Fig. 16 ({trace_name}): Argus per-minute series",
+            {
+                "offered_qpm": argus_series.offered_qpm_series,
+                "served_qpm": argus_series.served_qpm_series,
+                "violation_ratio": argus_series.violation_ratio_series,
+                "relative_quality": argus_series.relative_quality_series,
+            },
+        )
+
+
+def test_fig16_argus_claims_hold(fig16_results):
+    traces, results = fig16_results
+    for trace_name, trace in traces.items():
+        argus = results[(trace_name, "argus")].summary
+        proteus = results[(trace_name, "proteus")].summary
+        sommelier = results[(trace_name, "sommelier")].summary
+        nirvana = results[(trace_name, "nirvana")].summary
+        clipper_ha = results[(trace_name, "clipper-ha")].summary
+        clipper_ht = results[(trace_name, "clipper-ht")].summary
+        pac = results[(trace_name, "pac")].summary
+
+        # Argus meets the offered load.
+        assert argus.mean_served_qpm > 0.93 * trace.mean_qpm
+        # Lowest SLO violations among the adaptive / scalable systems.
+        assert argus.slo_violation_ratio <= proteus.slo_violation_ratio + 0.01
+        assert argus.slo_violation_ratio <= sommelier.slo_violation_ratio + 0.01
+        assert argus.slo_violation_ratio < nirvana.slo_violation_ratio + 0.01
+        assert argus.slo_violation_ratio < clipper_ha.slo_violation_ratio
+        # Higher quality than the SM-only scalable baselines.
+        assert argus.mean_pickscore > proteus.mean_pickscore
+        assert argus.mean_pickscore > clipper_ht.mean_pickscore
+        assert argus.mean_pickscore >= pac.mean_pickscore - 0.05
+        # Clipper-HA keeps quality but collapses on throughput/SLO under load.
+        assert clipper_ha.mean_relative_quality > argus.mean_relative_quality
+        assert clipper_ha.slo_violation_ratio > 3 * max(argus.slo_violation_ratio, 0.02)

@@ -1,0 +1,93 @@
+"""Fig. 17: stress test under a linearly increasing workload.
+
+As load ramps from well below capacity to beyond the cluster's fastest
+configuration, Argus keeps its throughput tracking the load and its SLO
+violations low by raising approximation levels, until the accuracy-scaling
+limit is reached and quality saturates at the most approximate level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import bench_config, print_series, print_table
+from repro.experiments.runner import build_system
+
+SYSTEMS = ["argus", "proteus", "nirvana", "clipper-ht"]
+RAMP_MINUTES = 100
+
+
+@pytest.fixture(scope="module")
+def stress_results(runner, trace_library, training_dataset):
+    trace = trace_library.increasing(
+        duration_minutes=RAMP_MINUTES, start_qpm=40.0, end_qpm=240.0
+    )
+    results = {}
+    for name in SYSTEMS:
+        system = build_system(name, config=bench_config(), training_dataset=training_dataset)
+        results[name] = (runner.run(system, trace), system)
+    return trace, results
+
+
+def test_fig17_stress_ramp(benchmark, stress_results):
+    trace, results = stress_results
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for name, (result, _system) in results.items():
+        summary = result.summary
+        rows.append(
+            {
+                "system": summary.system,
+                "served_qpm": summary.mean_served_qpm,
+                "slo_violation_ratio": summary.slo_violation_ratio,
+                "relative_quality": summary.mean_relative_quality,
+            }
+        )
+    print_table("Fig. 17: stress test aggregate", rows)
+
+    argus_result = results["argus"][0]
+    print_series(
+        "Fig. 17: Argus under increasing load",
+        {
+            "offered_qpm": argus_result.offered_qpm_series[:RAMP_MINUTES],
+            "served_qpm": argus_result.served_qpm_series[:RAMP_MINUTES],
+            "violation_ratio": argus_result.violation_ratio_series[:RAMP_MINUTES],
+            "relative_quality": argus_result.relative_quality_series[:RAMP_MINUTES],
+        },
+    )
+
+
+def test_fig17_claims_hold(stress_results):
+    trace, results = stress_results
+    argus_result, argus_system = results["argus"]
+    nirvana_result, _ = results["nirvana"]
+    clipper_ht_result, _ = results["clipper-ht"]
+
+    offered = np.array(argus_result.offered_qpm_series[:RAMP_MINUTES])
+    served = np.array(argus_result.served_qpm_series[:RAMP_MINUTES])
+    quality = np.array(argus_result.relative_quality_series[:RAMP_MINUTES])
+
+    # At low load every system serves everything at full quality.
+    low = slice(5, 20)
+    assert served[low].mean() > 0.9 * offered[low].mean()
+    assert quality[low].mean() > 0.95
+
+    # In the mid ramp Argus keeps tracking the load by approximating more,
+    # which costs some quality.
+    mid = slice(45, 65)
+    assert served[mid].mean() > 0.9 * offered[mid].mean()
+    assert quality[mid].mean() < quality[low].mean()
+
+    # Beyond the accuracy-scaling limit throughput saturates below the
+    # offered load (the horizontal-scaling signal in §6).
+    end = slice(90, RAMP_MINUTES)
+    assert served[end].mean() < offered[end].mean()
+
+    # NIRVANA cannot adapt: far more SLO violations than Argus overall.
+    assert nirvana_result.summary.slo_violation_ratio > 2 * max(
+        argus_result.summary.slo_violation_ratio, 0.02
+    )
+    # Clipper-HT always runs the smallest model: lowest quality of the group.
+    assert clipper_ht_result.summary.mean_relative_quality < argus_result.summary.mean_relative_quality

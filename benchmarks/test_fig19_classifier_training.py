@@ -1,0 +1,41 @@
+"""Fig. 19: classifier training loss vs achieved PickScore.
+
+More training epochs reduce the loss and increase the PickScore realised by
+routing prompts to the classifier's predicted levels (paper: loss 1.0 -> 0.1
+raises PickScore 18.0 -> 20.6).
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.classifier.trainer import ClassifierTrainer
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.quality.pickscore import PickScoreModel
+
+
+def test_fig19_loss_vs_pickscore(benchmark):
+    pickscore = PickScoreModel(seed=0)
+    trainer = ClassifierTrainer(pickscore)
+    train_prompts = PromptDataset.synthetic(count=1200, seed=41).prompts
+    eval_prompts = PromptDataset.synthetic(count=600, seed=42).prompts
+
+    def compute():
+        return trainer.loss_vs_pickscore_curve(
+            train_prompts,
+            Strategy.AC,
+            epoch_checkpoints=(1, 2, 4, 8, 16, 32),
+            eval_prompts=eval_prompts,
+            seed=0,
+        )
+
+    curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Fig. 19: training budget vs loss vs achieved PickScore", curve)
+
+    first, last = curve[0], curve[-1]
+    # Loss decreases substantially with training...
+    assert last["train_loss"] < 0.75 * first["train_loss"]
+    # ...validation accuracy improves...
+    assert last["validation_accuracy"] >= first["validation_accuracy"]
+    # ...and the PickScore achieved by classifier routing improves.
+    assert last["mean_pickscore"] >= first["mean_pickscore"]

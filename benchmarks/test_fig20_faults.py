@@ -1,0 +1,120 @@
+"""Fig. 20: behaviour under system faults.
+
+(a) GPU failure: half the GPUs go down for a window; Argus's solver detects
+    the smaller cluster within a minute and re-allocates, trading quality
+    (higher K) to keep serving, with SLO violations rising during the window.
+(b) Cache-retrieval failure: the VDB/EFS path becomes unreachable; Argus
+    detects the degraded retrievals and switches AC -> SM.  Without the
+    switch (the "no-switch" line of Fig. 20b) throughput suffers for the
+    whole outage because every prompt falls back to full K=0 generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import bench_config, print_series, print_table
+from repro.cache.network import NetworkCondition
+from repro.core.system import ArgusSystem
+from repro.models.zoo import Strategy
+
+DURATION_MINUTES = 60
+FAIL_START_S = 20 * 60.0
+FAIL_END_S = 40 * 60.0
+
+
+@pytest.fixture(scope="module")
+def fault_trace(trace_library):
+    return trace_library.constant(duration_minutes=DURATION_MINUTES, qpm=120.0)
+
+
+def _minute_mean(series, start_minute, end_minute):
+    window = series[start_minute:end_minute]
+    return float(np.mean(window)) if len(window) else 0.0
+
+
+def test_fig20a_gpu_failure(benchmark, runner, fault_trace, training_dataset):
+    def run():
+        system = ArgusSystem(config=bench_config(), training_dataset=training_dataset)
+        for worker_id in range(4):
+            system.cluster.schedule_failure(worker_id, FAIL_START_S, FAIL_END_S)
+        return runner.run(system, fault_trace), system
+
+    (result, system) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    quality = result.relative_quality_series
+    violations = result.violation_ratio_series
+    served = result.served_qpm_series
+    rows = [
+        {
+            "phase": name,
+            "served_qpm": _minute_mean(served, start, end),
+            "violation_ratio": _minute_mean(violations, start, end),
+            "relative_quality": _minute_mean(quality, start, end),
+        }
+        for name, start, end in (
+            ("before failure", 5, 20),
+            ("during failure (4/8 GPUs)", 22, 40),
+            ("after recovery", 45, 60),
+        )
+    ]
+    print_table("Fig. 20a: GPU failure (4 of 8 workers down)", rows)
+    print_series("Fig. 20a series", {"served": served, "quality": quality, "violations": violations})
+
+    before, during, after = rows
+    # The solver re-allocates onto the surviving GPUs: serving continues but
+    # at higher approximation (lower quality) and more SLO violations.
+    assert during["served_qpm"] > 0.75 * before["served_qpm"]
+    assert during["relative_quality"] < before["relative_quality"] - 0.03
+    assert during["violation_ratio"] >= before["violation_ratio"]
+    # Quality recovers after the GPUs come back.
+    assert after["relative_quality"] > during["relative_quality"] + 0.02
+
+
+def test_fig20b_cache_retrieval_failure(benchmark, runner, fault_trace, training_dataset):
+    def run(allow_switching: bool):
+        config = bench_config(retrieval_violations_to_switch=10)
+        system = ArgusSystem(
+            config=config,
+            training_dataset=training_dataset,
+            allow_strategy_switching=allow_switching,
+        )
+        system.network.schedule_condition(FAIL_START_S, FAIL_END_S, NetworkCondition.OUTAGE)
+        return runner.run(system, fault_trace), system
+
+    def run_both():
+        return {"switching": run(True), "no-switch": run(False)}
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label, (result, system) in outcomes.items():
+        rows.append(
+            {
+                "variant": label,
+                "served_qpm": result.summary.mean_served_qpm,
+                "slo_violation_ratio": result.summary.slo_violation_ratio,
+                "relative_quality": result.summary.mean_relative_quality,
+                "strategy_switches": system.num_strategy_switches(),
+                "final_strategy": system.active_strategy.value,
+                "model_loads": system.cluster.total_model_loads(),
+            }
+        )
+    print_table("Fig. 20b: cache retrieval outage, with and without AC->SM switch", rows)
+
+    switching_result, switching_system = outcomes["switching"]
+    noswitch_result, noswitch_system = outcomes["no-switch"]
+
+    # With switching enabled Argus moves to SM during the outage (and loads
+    # smaller models), then returns to AC after recovery.
+    assert switching_system.num_strategy_switches() >= 2
+    assert switching_system.cluster.total_model_loads() > 0
+    assert switching_system.active_strategy is Strategy.AC
+    # Without switching every request pays the K=0 fallback during the
+    # outage, so SLO violations are clearly worse.
+    assert noswitch_system.num_strategy_switches() == 0
+    during = slice(22, 40)
+    assert _minute_mean(noswitch_result.violation_ratio_series, during.start, during.stop) > (
+        _minute_mean(switching_result.violation_ratio_series, during.start, during.stop)
+    )

@@ -1,0 +1,58 @@
+"""§5.4 / §5.7: simulated user-perception study.
+
+The simulator converts each system's per-request relative quality (collected
+under load on the bursty workload) into suitability votes from 186 simulated
+participants.  The paper's ranking — SD-XL-always (Clipper-HA) > Argus >
+PAC > Proteus > Clipper-HT — must be preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import BENCH_TRACE_MINUTES, bench_config, print_table
+from repro.experiments.runner import build_system
+from repro.quality.user_study import UserStudySimulator
+
+SYSTEMS = ["clipper-ha", "argus", "pac", "proteus", "clipper-ht"]
+
+
+@pytest.fixture(scope="module")
+def study_inputs(runner, trace_library, training_dataset):
+    trace = trace_library.bursty(duration_minutes=BENCH_TRACE_MINUTES)
+    samples = {}
+    for name in SYSTEMS:
+        system = build_system(name, config=bench_config(), training_dataset=training_dataset)
+        runner.run(system, trace)
+        samples[system.name] = system.collector.relative_qualities()
+    return samples
+
+
+def test_sec54_user_study(benchmark, study_inputs):
+    study = UserStudySimulator(num_participants=186, seed=0)
+
+    def run_study():
+        return study.compare(study_inputs)
+
+    results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "system": r.system,
+            "prompt_relevance_rate": r.prompt_relevance_rate,
+            "overall_quality_rate": r.overall_quality_rate,
+            "votes": r.num_votes,
+        }
+        for r in results
+    ]
+    print_table("§5.4: simulated user study (suitability vote rates)", rows)
+
+    rates = {r.system: r.prompt_relevance_rate for r in results}
+    # Clipper-HA (always SD-XL) tops the study but is not scalable.
+    assert rates["Clipper-HA"] >= rates["Argus"]
+    # Argus beats every scalable baseline.
+    assert rates["Argus"] >= rates["PAC"] - 0.01
+    assert rates["Argus"] > rates["Proteus"]
+    assert rates["Argus"] > rates["Clipper-HT"]
+    # Clipper-HT (always the smallest model) is rated lowest.
+    assert rates["Clipper-HT"] == min(rates.values())

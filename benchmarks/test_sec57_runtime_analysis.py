@@ -1,0 +1,112 @@
+"""§5.7: runtime analysis — solver scalability, predictor accuracy, variant
+switching overhead and cluster utilisation.
+
+Paper claims reproduced here:
+
+* the allocation solver stays well under 100 ms even for clusters of tens
+  of GPUs;
+* the workload-distribution predictor reaches very low L2 error with a
+  1000-prompt look-back window;
+* Argus switches variants far less than Proteus (which reloads models on
+  27-42% of load changes) because AC level changes are free;
+* Argus's utilisation on a fixed cluster is far higher than peak
+  provisioning (static over-provisioning for the peak).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import BENCH_TRACE_MINUTES, bench_config, print_table
+from repro.core.solver import AllocationSolver
+from repro.core.predictor import WorkloadDistributionPredictor
+from repro.experiments.runner import build_system
+from repro.models.zoo import ModelZoo, Strategy
+
+
+def test_sec57_solver_scalability(benchmark):
+    zoo = ModelZoo()
+    peak = np.array([l.peak_throughput_qpm for l in zoo.levels(Strategy.AC)])
+    quality = np.array([21.0, 20.8, 20.4, 19.7, 18.4, 16.5])
+    solver = AllocationSolver()
+    cluster_sizes = (8, 16, 32, 64)
+
+    def solve_all():
+        timings = []
+        for size in cluster_sizes:
+            target = 0.7 * peak.max() * size
+            start = time.perf_counter()
+            plan = solver.solve(target, quality, peak, num_workers=size)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            timings.append(
+                {
+                    "cluster_size": size,
+                    "target_qpm": target,
+                    "solve_time_ms": elapsed_ms,
+                    "feasible": plan.feasible,
+                }
+            )
+        return timings
+
+    timings = benchmark(solve_all)
+    print_table("§5.7: ILP/allocation solver scalability", timings)
+    for row in timings:
+        assert row["feasible"]
+        assert row["solve_time_ms"] < 100.0
+
+
+def test_sec57_predictor_accuracy(benchmark):
+    rng = np.random.default_rng(0)
+    truth = np.array([0.04, 0.10, 0.16, 0.32, 0.26, 0.12])
+
+    def run():
+        predictor = WorkloadDistributionPredictor(num_levels=6, lookback=1000)
+        predictor.observe_many(rng.choice(6, size=8000, p=truth).tolist())
+        return predictor.prediction_error(truth)
+
+    error = benchmark(run)
+    print(f"\n§5.7: workload-distribution predictor L2 error = {error:.4f}")
+    assert error < 0.05
+
+
+@pytest.fixture(scope="module")
+def switching_runs(runner, trace_library, training_dataset):
+    trace = trace_library.bursty(duration_minutes=BENCH_TRACE_MINUTES)
+    outcomes = {}
+    for name in ("argus", "proteus", "clipper-ha"):
+        system = build_system(name, config=bench_config(), training_dataset=training_dataset)
+        outcomes[name] = (runner.run(system, trace), system)
+    return outcomes
+
+
+def test_sec57_switching_overhead_and_utilization(benchmark, switching_runs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, (result, system) in switching_runs.items():
+        rows.append(
+            {
+                "system": result.summary.system,
+                "model_loads": result.summary.model_loads,
+                "served_qpm": result.summary.mean_served_qpm,
+                "utilization": result.summary.cluster_utilization,
+                "slo_violation_ratio": result.summary.slo_violation_ratio,
+            }
+        )
+    print_table("§5.7: variant-switching overhead and cluster utilisation", rows)
+
+    argus_row = next(r for r in rows if r["system"] == "Argus")
+    proteus_row = next(r for r in rows if r["system"] == "Proteus")
+    clipper_row = next(r for r in rows if r["system"] == "Clipper-HA")
+
+    # Argus changes AC levels for free: no model loads at all, while Proteus
+    # reloads models as the load fluctuates.
+    assert argus_row["model_loads"] == 0
+    assert proteus_row["model_loads"] > 10
+    # Argus keeps the fixed cluster busy (the paper reports 71-91%
+    # utilisation vs 37-60% for peak provisioning); Clipper-HA is saturated
+    # but fails its SLOs, which is the wrong kind of "utilisation".
+    assert argus_row["utilization"] > 0.5
+    assert argus_row["slo_violation_ratio"] < clipper_row["slo_violation_ratio"]

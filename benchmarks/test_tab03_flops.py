@@ -1,0 +1,44 @@
+"""Table 3: per-component FLOPs and arithmetic intensity of the DM variants."""
+
+from __future__ import annotations
+
+from benchmarks.helpers import print_table
+from repro.models.components import (
+    MODEL_COMPONENT_PROFILES,
+    arithmetic_intensity,
+    total_flops_per_image,
+)
+
+
+def test_tab03_component_flops(benchmark):
+    def build_rows():
+        rows = []
+        for profile in MODEL_COMPONENT_PROFILES:
+            rows.append(
+                {
+                    "model": profile.model,
+                    "component": profile.component,
+                    "params_B": profile.parameters_billion,
+                    "size_GiB": profile.size_gib,
+                    "flops_B": profile.flops_billion,
+                    "arith_intensity": profile.arithmetic_intensity,
+                    "invocations": profile.invocations_per_image,
+                }
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table("Table 3: component FLOPs and arithmetic intensity", rows)
+
+    summary = [
+        {
+            "model": model,
+            "total_flops_B_per_image": total_flops_per_image(model),
+            "image_arith_intensity": arithmetic_intensity(model),
+        }
+        for model in ("Tiny-SD", "Small-SD", "SD-2.0", "SD-XL")
+    ]
+    print_table("Table 3 (derived): whole-image totals", summary)
+
+    # The UNet dominates per-image FLOPs and SD-XL is by far the heaviest.
+    assert summary[-1]["total_flops_B_per_image"] > 5 * summary[0]["total_flops_B_per_image"]

@@ -1,0 +1,70 @@
+"""Compare Argus with the paper's baselines on a bursty production-like load.
+
+Run with::
+
+    python examples/compare_serving_systems.py
+
+Reproduces a miniature version of Fig. 16: every serving system replays the
+same bursty trace on the same 8-GPU simulated cluster, and the script prints
+the throughput / SLO / quality table plus a simulated user study (§5.4).
+"""
+
+from __future__ import annotations
+
+from repro import ArgusConfig, TraceLibrary, compare_systems
+from repro.quality.user_study import UserStudySimulator
+
+SYSTEMS = ["argus", "pac", "proteus", "sommelier", "nirvana", "clipper-ha", "clipper-ht"]
+
+
+def main() -> None:
+    trace = TraceLibrary(seed=0).bursty(duration_minutes=60)
+    print(
+        f"Workload: bursty, {trace.duration_minutes} minutes, "
+        f"mean {trace.mean_qpm:.0f} QPM, peak {trace.peak_qpm:.0f} QPM"
+    )
+    print(f"Comparing: {', '.join(SYSTEMS)} (this takes a couple of minutes)\n")
+
+    results = compare_systems(
+        SYSTEMS,
+        trace,
+        config_factory=lambda: ArgusConfig(
+            num_workers=8, classifier_training_prompts=800, profiling_prompts=400
+        ),
+        seed=0,
+        dataset_size=1500,
+    )
+
+    header = f"{'system':<12} {'served QPM':>10} {'SLO viol.':>10} {'rel. quality':>13} {'PickScore':>10} {'loads':>6}"
+    print(header)
+    print("-" * len(header))
+    for name in SYSTEMS:
+        summary = results[name].summary
+        print(
+            f"{summary.system:<12} {summary.mean_served_qpm:>10.1f} "
+            f"{summary.slo_violation_ratio:>9.2%} {summary.mean_relative_quality:>12.2%} "
+            f"{summary.mean_pickscore:>10.2f} {summary.model_loads:>6d}"
+        )
+
+    print("\nSimulated user study (§5.4): suitability vote rates")
+    study = UserStudySimulator(num_participants=186, seed=0)
+    votes = study.compare(
+        {results[name].summary.system: _relative_qualities(results[name]) for name in SYSTEMS}
+    )
+    for outcome in votes:
+        print(
+            f"  {outcome.system:<12} relevance={outcome.prompt_relevance_rate:.2%} "
+            f"quality={outcome.overall_quality_rate:.2%}"
+        )
+
+
+def _relative_qualities(result):
+    """Per-request relative qualities, rebuilt from the minute series."""
+    samples = []
+    for stats in result.minute_series:
+        samples.extend(stats.relative_qualities)
+    return samples or [0.0]
+
+
+if __name__ == "__main__":
+    main()

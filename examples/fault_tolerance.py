@@ -1,0 +1,86 @@
+"""Fault-tolerance walkthrough: GPU failures and a cache-network outage.
+
+Run with::
+
+    python examples/fault_tolerance.py
+
+Scenario 1 (Fig. 20a): half the GPUs fail for 15 minutes under load.  The
+allocator notices the smaller cluster at its next one-minute calibration and
+re-allocates, trading quality (higher K) for throughput.
+
+Scenario 2 (Fig. 20b): the vector-database / cache-store network becomes
+unreachable.  Argus's retrieval monitoring detects the degradation and
+switches the whole cluster from approximate caching to smaller models, then
+switches back once background probes see a healthy network again.
+"""
+
+from __future__ import annotations
+
+from repro import ArgusConfig, ArgusSystem, ExperimentRunner, TraceLibrary
+from repro.cache.network import NetworkCondition
+
+
+def print_phase_table(result, phases) -> None:
+    print(f"  {'phase':<28} {'served QPM':>10} {'SLO viol.':>10} {'quality':>9}")
+    for label, start, end in phases:
+        window = result.minute_series[start:end]
+        if not window:
+            continue
+        served = sum(m.served_qpm for m in window) / len(window)
+        violations = sum(m.violation_ratio for m in window) / len(window)
+        quality = sum(m.mean_relative_quality for m in window) / len(window)
+        print(f"  {label:<28} {served:>10.1f} {violations:>9.2%} {quality:>8.2%}")
+
+
+def gpu_failure_scenario() -> None:
+    print("\n=== Scenario 1: 4 of 8 GPUs fail between minutes 15 and 30 ===")
+    config = ArgusConfig(num_workers=8, classifier_training_prompts=600, profiling_prompts=300)
+    system = ArgusSystem(config=config)
+    for worker_id in range(4):
+        system.cluster.schedule_failure(worker_id, fail_at_s=15 * 60.0, recover_at_s=30 * 60.0)
+
+    # 85 QPM fits the full cluster comfortably at low approximation and is
+    # just inside the 4-worker capacity at the highest approximation, so the
+    # failure forces a clear quality-for-throughput trade without collapsing.
+    trace = TraceLibrary(seed=1).constant(duration_minutes=45, qpm=85.0)
+    result = ExperimentRunner(seed=1, dataset_size=1200).run(system, trace)
+    print_phase_table(
+        result,
+        [("before failure", 3, 15), ("during failure", 16, 30), ("after recovery", 33, 45)],
+    )
+
+
+def cache_outage_scenario() -> None:
+    print("\n=== Scenario 2: cache network outage between minutes 15 and 30 ===")
+    config = ArgusConfig(
+        num_workers=8,
+        classifier_training_prompts=600,
+        profiling_prompts=300,
+        retrieval_violations_to_switch=10,
+    )
+    system = ArgusSystem(config=config)
+    system.network.schedule_condition(15 * 60.0, 30 * 60.0, NetworkCondition.OUTAGE)
+
+    trace = TraceLibrary(seed=2).constant(duration_minutes=45, qpm=110.0)
+    result = ExperimentRunner(seed=2, dataset_size=1200).run(system, trace)
+    print_phase_table(
+        result,
+        [("before outage (AC)", 3, 15), ("during outage", 16, 30), ("after recovery", 33, 45)],
+    )
+    print(f"  strategy switches: {system.num_strategy_switches()}")
+    for event in system.switcher.events:
+        print(
+            f"    t={event.time_s / 60.0:5.1f} min  {event.from_strategy.value} -> "
+            f"{event.to_strategy.value} ({event.reason})"
+        )
+    print(f"  final strategy: {system.active_strategy.value}")
+    print(f"  SM model loads during the switch: {system.cluster.total_model_loads()}")
+
+
+def main() -> None:
+    gpu_failure_scenario()
+    cache_outage_scenario()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Stress test: drive Argus up a load ramp until accuracy-scaling saturates.
+
+Run with::
+
+    python examples/stress_test_autoscaling_signal.py
+
+Reproduces the Fig. 17 experiment shape: offered load ramps linearly past
+the cluster's fastest configuration.  The script prints, for each load band,
+the served throughput, quality and SLO violations, and shows where the
+"horizontal scaling" signal from §6 (saturation of the most approximate
+level) kicks in.
+"""
+
+from __future__ import annotations
+
+from repro import ArgusConfig, ArgusSystem, ExperimentRunner, Strategy, TraceLibrary
+
+
+def main() -> None:
+    config = ArgusConfig(num_workers=8, classifier_training_prompts=800, profiling_prompts=400)
+    system = ArgusSystem(config=config)
+    zoo = system.zoo
+    max_qpm = zoo.max_cluster_throughput_qpm(Strategy.AC, config.num_workers)
+    print(f"Cluster capacity at the most approximate AC level: {max_qpm:.0f} QPM")
+
+    trace = TraceLibrary(seed=0).increasing(duration_minutes=90, start_qpm=40.0, end_qpm=240.0)
+    print(f"Ramping load from 40 to 240 QPM over {trace.duration_minutes} minutes ...")
+    result = ExperimentRunner(seed=0, dataset_size=1500).run(system, trace)
+
+    print(f"\n{'load band':<18} {'offered':>9} {'served':>9} {'SLO viol.':>10} {'quality':>9}")
+    for start in range(0, trace.duration_minutes, 15):
+        window = result.minute_series[start : start + 15]
+        offered = sum(m.offered_qpm for m in window) / len(window)
+        served = sum(m.served_qpm for m in window) / len(window)
+        violations = sum(m.violation_ratio for m in window) / len(window)
+        quality = sum(m.mean_relative_quality for m in window) / len(window)
+        saturated = " <- saturated (scale out!)" if offered > max_qpm else ""
+        print(
+            f"minutes {start:3d}-{start + 14:<3d}   {offered:>9.0f} {served:>9.0f} "
+            f"{violations:>9.2%} {quality:>8.2%}{saturated}"
+        )
+
+    last_plan = system.allocator.last_record
+    if last_plan is not None:
+        print(
+            "\nFinal allocation (workers per AC level, least→most approximate): "
+            f"{last_plan.plan.workers_per_level}"
+        )
+    print(
+        "When every worker sits at the most approximate level and offered load "
+        "still exceeds capacity, quality can no longer be traded for throughput — "
+        "that is the signal to scale the cluster horizontally (§6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro: a reproduction of Argus, the quality-aware high-throughput
+text-to-image inference serving system (Middleware 2025).
+
+Quickstart::
+
+    from repro import ArgusConfig, ArgusSystem, ExperimentRunner, TraceLibrary
+
+    config = ArgusConfig(num_workers=8)
+    system = ArgusSystem(config=config)
+    trace = TraceLibrary(seed=0).twitter_like(duration_minutes=60)
+    result = ExperimentRunner(seed=0).run(system, trace)
+    print(result.summary.as_row())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.core.config import ArgusConfig
+from repro.core.oda import OptimizedDistributionAligner, ShiftMap
+from repro.core.solver import AllocationPlan, AllocationSolver
+from repro.core.system import ArgusSystem
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    build_system,
+    compare_systems,
+)
+from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.quality.optimal import OptimalModelSelector
+from repro.quality.pickscore import PickScoreModel
+from repro.workloads.traces import TraceLibrary, WorkloadTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationPlan",
+    "AllocationSolver",
+    "ApproximationLevel",
+    "ArgusConfig",
+    "ArgusSystem",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ModelZoo",
+    "OptimalModelSelector",
+    "OptimizedDistributionAligner",
+    "PickScoreModel",
+    "PromptDataset",
+    "ShiftMap",
+    "Strategy",
+    "TraceLibrary",
+    "WorkloadTrace",
+    "build_system",
+    "compare_systems",
+    "__version__",
+]

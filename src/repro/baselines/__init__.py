@@ -1,0 +1,25 @@
+"""Baseline serving systems the paper compares against (§5.1).
+
+* Clipper-HA / Clipper-HT — static single-model deployments (largest /
+  smallest model on every GPU).
+* Proteus — multi-model accuracy scaling with prompt-agnostic routing.
+* Sommelier — per-GPU model selection based on each GPU's own load.
+* NIRVANA — per-prompt approximate-caching on every worker, replicated
+  across the cluster with uniform load spreading and no load adaptation.
+* PAC — the prompt-agnostic Argus ablation (exposed here for convenience;
+  it is ``ArgusSystem(prompt_aware=False)``).
+"""
+
+from repro.baselines.clipper import ClipperSystem
+from repro.baselines.nirvana import NirvanaSystem
+from repro.baselines.proteus import ProteusSystem
+from repro.baselines.sommelier import SommelierSystem
+from repro.baselines.pac import PacSystem
+
+__all__ = [
+    "ClipperSystem",
+    "NirvanaSystem",
+    "PacSystem",
+    "ProteusSystem",
+    "SommelierSystem",
+]

@@ -1,0 +1,47 @@
+"""Clipper baselines: static single-model serving (§5.1).
+
+Clipper requires the operator to pick the model; the paper evaluates two
+configurations — Clipper-HA runs the most accurate SD-XL model on every GPU,
+Clipper-HT runs the fastest Tiny-SD model on every GPU.  Neither adapts to
+load; routing is least-loaded across the homogeneous workers.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BaseServingSystem, Route
+from repro.core.config import ArgusConfig
+from repro.models.zoo import ApproximationLevel, Strategy
+from repro.prompts.generator import Prompt
+
+
+class ClipperSystem(BaseServingSystem):
+    """Static single-model serving system."""
+
+    def __init__(self, mode: str = "HA", config: ArgusConfig | None = None, **kwargs) -> None:
+        mode = mode.upper()
+        if mode not in ("HA", "HT"):
+            raise ValueError("Clipper mode must be 'HA' (high accuracy) or 'HT' (high throughput)")
+        self.mode = mode
+        self.name = f"Clipper-{mode}"
+        config = config or ArgusConfig()
+        config.default_strategy = Strategy.SM
+        super().__init__(config=config, use_cache=False, **kwargs)
+
+    def default_initial_level(self) -> ApproximationLevel:
+        """SD-XL for HA, the fastest variant (Tiny-SD) for HT."""
+        levels = self.zoo.levels(Strategy.SM)
+        return levels[0] if self.mode == "HA" else levels[-1]
+
+    def route(self, prompt: Prompt) -> Route | None:
+        """Least-loaded routing across the homogeneous workers."""
+        healthy = self.cluster.healthy_workers
+        if not healthy:
+            return None
+        worker = min(healthy, key=lambda w: (w.outstanding, w.worker_id))
+        rank = worker.level.rank
+        return Route(
+            worker_id=worker.worker_id,
+            predicted_rank=rank,
+            assigned_rank=rank,
+            strategy=Strategy.SM,
+        )

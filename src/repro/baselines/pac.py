@@ -1,0 +1,34 @@
+"""PAC: Prompt-Agnostic Argus (the paper's own ablation, §5.1).
+
+PAC keeps everything else in Argus — the load-aware ILP allocation and the
+AC/SM strategy switching — but removes the per-prompt classifier and the
+ODA, so prompts are routed to approximation levels in proportion to the load
+split alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ArgusConfig
+from repro.core.system import ArgusSystem
+from repro.prompts.dataset import PromptDataset
+
+
+class PacSystem(ArgusSystem):
+    """Prompt-agnostic variant of Argus."""
+
+    name = "PAC"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        training_dataset: PromptDataset | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            config=config,
+            prompt_aware=False,
+            allow_strategy_switching=True,
+            training_dataset=training_dataset,
+            **kwargs,
+        )
+        self.name = "PAC"

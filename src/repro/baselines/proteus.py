@@ -1,0 +1,44 @@
+"""Proteus baseline: accuracy scaling over smaller models, prompt-agnostic.
+
+Proteus distributes traffic across multiple distilled/smaller model variants
+to meet throughput, but treats model accuracy as uniform across inputs: the
+fraction of traffic sent to each variant depends only on the load, not on
+the individual prompt.  It never uses approximate caching.
+
+This maps exactly onto the Argus machinery with the classifier and ODA
+disabled, the strategy pinned to SM and the cache removed — which is also
+how the paper implements its baselines ("Baselines are implemented using
+Proteus").
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ArgusConfig
+from repro.core.system import ArgusSystem
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+
+
+class ProteusSystem(ArgusSystem):
+    """Load-aware, prompt-agnostic accuracy scaling over SM variants."""
+
+    name = "Proteus"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        training_dataset: PromptDataset | None = None,
+        **kwargs,
+    ) -> None:
+        config = config or ArgusConfig()
+        config.default_strategy = Strategy.SM
+        config.blocking_model_loads = True
+        super().__init__(
+            config=config,
+            prompt_aware=False,
+            allow_strategy_switching=False,
+            training_dataset=training_dataset,
+            use_cache=False,
+            **kwargs,
+        )
+        self.name = "Proteus"

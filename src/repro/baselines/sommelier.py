@@ -1,0 +1,78 @@
+"""Sommelier baseline: per-GPU model selection.
+
+Sommelier curates models at the level of an individual server rather than
+the cluster: each GPU watches its own recent load and swaps to a faster
+variant when its queue builds up, or back to a more accurate variant when it
+has headroom.  Routing across GPUs is least-loaded; there is no cluster-wide
+optimisation, no prompt awareness and no approximate caching.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BaseServingSystem, Route
+from repro.core.config import ArgusConfig
+from repro.models.zoo import ApproximationLevel, Strategy
+from repro.prompts.generator import Prompt
+from repro.simulation.engine import SimulationEngine
+
+
+class SommelierSystem(BaseServingSystem):
+    """Per-GPU workload assessment and model switching."""
+
+    name = "Sommelier"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        adjustment_interval_s: float = 60.0,
+        upscale_queue_threshold: int = 4,
+        downscale_queue_threshold: int = 1,
+        **kwargs,
+    ) -> None:
+        config = config or ArgusConfig()
+        config.default_strategy = Strategy.SM
+        config.blocking_model_loads = True
+        super().__init__(config=config, use_cache=False, **kwargs)
+        self.adjustment_interval_s = float(adjustment_interval_s)
+        self.upscale_queue_threshold = int(upscale_queue_threshold)
+        self.downscale_queue_threshold = int(downscale_queue_threshold)
+
+    def default_initial_level(self) -> ApproximationLevel:
+        """Start every GPU on the most accurate variant."""
+        return self.zoo.exact_level(Strategy.SM)
+
+    # ------------------------------------------------------------------ #
+    # Per-GPU adjustment loop
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Install the per-GPU workload assessment loop."""
+
+        def adjust(engine: SimulationEngine) -> None:
+            levels = self.zoo.levels(Strategy.SM)
+            for worker in self.cluster.healthy_workers:
+                rank = worker.level.rank
+                if worker.outstanding >= self.upscale_queue_threshold and rank < len(levels) - 1:
+                    worker.set_level(levels[rank + 1])
+                elif worker.outstanding <= self.downscale_queue_threshold and rank > 0:
+                    worker.set_level(levels[rank - 1])
+
+        self.engine.schedule_every(self.adjustment_interval_s, adjust, name="sommelier-adjust")
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self, prompt: Prompt) -> Route | None:
+        """Least expected wait across heterogeneous workers."""
+        healthy = self.cluster.healthy_workers
+        if not healthy:
+            return None
+        worker = min(
+            healthy, key=lambda w: (w.outstanding * w.level.latency_s, w.worker_id)
+        )
+        rank = worker.level.rank
+        return Route(
+            worker_id=worker.worker_id,
+            predicted_rank=rank,
+            assigned_rank=rank,
+            strategy=Strategy.SM,
+        )

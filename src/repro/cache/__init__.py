@@ -1,0 +1,25 @@
+"""Approximate-caching substrate: vector database, noise-state store, network.
+
+Approximate caching (AC) retrieves the intermediate noise state of a similar
+previous prompt and resumes denoising from step K.  The substrate models the
+three external dependencies the paper identifies: the vector database used
+for similarity search, the blob store (EFS) holding the noise states, and
+the network between the GPU workers and both services — including the
+congestion and outage scenarios that trigger Argus's AC→SM switch.
+"""
+
+from repro.cache.network import NetworkCondition, NetworkModel
+from repro.cache.store import NoiseStateStore, StoredState
+from repro.cache.vectordb import VectorDatabase, SearchResult
+from repro.cache.approximate import ApproximateCache, RetrievalOutcome
+
+__all__ = [
+    "ApproximateCache",
+    "NetworkCondition",
+    "NetworkModel",
+    "NoiseStateStore",
+    "RetrievalOutcome",
+    "SearchResult",
+    "StoredState",
+    "VectorDatabase",
+]

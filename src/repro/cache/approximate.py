@@ -1,0 +1,158 @@
+"""The approximate-caching pipeline a GPU worker executes for each AC request.
+
+For a prompt served at AC level K > 0 the worker:
+
+1. embeds the prompt and queries the vector database for the most similar
+   previously served prompt;
+2. fetches that prompt's intermediate noise state (at the largest cached
+   step <= K) from the noise-state store over the network;
+3. resumes denoising from that step.
+
+If the similarity is too low, the state is missing, or the network is down,
+the request falls back to full generation (effective K = 0).  After serving,
+the worker writes back this prompt's states so future similar prompts hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.network import NetworkModel
+from repro.cache.store import NoiseStateStore, StoredState
+from repro.cache.vectordb import VectorDatabase
+from repro.prompts.embedding import PromptEmbedder
+from repro.prompts.generator import Prompt
+
+
+@dataclass(frozen=True)
+class RetrievalOutcome:
+    """Result of the cache-retrieval phase for one request."""
+
+    requested_skip: int
+    #: Denoising steps actually skipped (0 when retrieval failed or missed).
+    effective_skip: int
+    #: Wall-clock spent on VDB search + state fetch (seconds); 0 when no
+    #: retrieval was attempted.
+    retrieval_latency_s: float
+    hit: bool
+    #: Cosine similarity of the matched prompt (None on miss/outage).
+    similarity: float | None = None
+    #: True when the retrieval failed because the network was unreachable.
+    network_failed: bool = False
+
+
+class ApproximateCache:
+    """Coordinates the vector database, noise-state store and network model."""
+
+    def __init__(
+        self,
+        embedder: PromptEmbedder | None = None,
+        vectordb: VectorDatabase | None = None,
+        store: NoiseStateStore | None = None,
+        network: NetworkModel | None = None,
+        similarity_threshold: float = 0.78,
+        checkpoint_steps: tuple[int, ...] = (5, 10, 15, 20, 25),
+    ) -> None:
+        self.embedder = embedder or PromptEmbedder()
+        self.vectordb = vectordb or VectorDatabase(dim=self.embedder.dim)
+        self.store = store or NoiseStateStore()
+        self.network = network or NetworkModel()
+        self.similarity_threshold = float(similarity_threshold)
+        self.checkpoint_steps = tuple(sorted(checkpoint_steps))
+
+    # ------------------------------------------------------------------ #
+    # Retrieval path
+    # ------------------------------------------------------------------ #
+    def retrieve(self, prompt: Prompt, requested_skip: int, now_s: float) -> RetrievalOutcome:
+        """Attempt to retrieve a noise state enabling ``requested_skip``."""
+        if requested_skip <= 0:
+            return RetrievalOutcome(
+                requested_skip=0, effective_skip=0, retrieval_latency_s=0.0, hit=False
+            )
+
+        latency = self.network.retrieval_latency(now_s)
+        if latency is None:
+            return RetrievalOutcome(
+                requested_skip=requested_skip,
+                effective_skip=0,
+                retrieval_latency_s=0.0,
+                hit=False,
+                network_failed=True,
+            )
+
+        query = self.embedder.embed(prompt)
+        match = self.vectordb.nearest(query)
+        if match is None or match.similarity < self.similarity_threshold:
+            return RetrievalOutcome(
+                requested_skip=requested_skip,
+                effective_skip=0,
+                retrieval_latency_s=latency,
+                hit=False,
+                similarity=None if match is None else match.similarity,
+            )
+
+        cached_prompt_id = int(match.payload.get("prompt_id", -1))
+        state = self.store.get(cached_prompt_id)
+        if state is None:
+            return RetrievalOutcome(
+                requested_skip=requested_skip,
+                effective_skip=0,
+                retrieval_latency_s=latency,
+                hit=False,
+                similarity=match.similarity,
+            )
+
+        usable_step = state.best_step_for(requested_skip)
+        if usable_step is None:
+            return RetrievalOutcome(
+                requested_skip=requested_skip,
+                effective_skip=0,
+                retrieval_latency_s=latency,
+                hit=False,
+                similarity=match.similarity,
+            )
+        return RetrievalOutcome(
+            requested_skip=requested_skip,
+            effective_skip=usable_step,
+            retrieval_latency_s=latency,
+            hit=True,
+            similarity=match.similarity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Write-back path
+    # ------------------------------------------------------------------ #
+    def store_states(self, prompt: Prompt) -> None:
+        """Record the intermediate states produced while serving ``prompt``.
+
+        Re-serving a prompt that is already cached is a no-op so the vector
+        index does not accumulate duplicates.
+        """
+        if self.store.peek(prompt.prompt_id) is not None:
+            return
+        embedding = self.embedder.embed(prompt)
+        self.vectordb.upsert(embedding, payload={"prompt_id": prompt.prompt_id})
+        self.store.put(
+            StoredState(
+                prompt_id=prompt.prompt_id,
+                prompt_text=prompt.text,
+                available_steps=self.checkpoint_steps,
+            )
+        )
+
+    def warm(self, prompts: list[Prompt]) -> None:
+        """Pre-populate the cache with a prompt history."""
+        for prompt in prompts:
+            self.store_states(prompt)
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+    def probe_network(self, now_s: float) -> float | None:
+        """Background network probe used by the strategy switcher."""
+        return self.network.probe(now_s)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of store lookups that hit."""
+        return self.store.stats.hit_rate

@@ -1,0 +1,112 @@
+"""Network condition model between GPU workers and the cache services.
+
+Under normal conditions cache retrieval costs a few tens of milliseconds;
+under congestion it can spike to seconds (Fig. 11), and during an outage the
+vector database / blob store are unreachable.  Argus monitors the observed
+retrieval latency and switches strategy when it degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class NetworkCondition(str, Enum):
+    """Coarse health states of the path to the cache services."""
+
+    HEALTHY = "healthy"
+    CONGESTED = "congested"
+    OUTAGE = "outage"
+
+
+@dataclass(frozen=True)
+class ConditionWindow:
+    """A scheduled network condition over a simulated time interval."""
+
+    start_s: float
+    end_s: float
+    condition: NetworkCondition
+
+    def contains(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside this window."""
+        return self.start_s <= time_s < self.end_s
+
+
+class NetworkModel:
+    """Produces per-request retrieval latencies given the current condition."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        healthy_latency_s: float = 0.035,
+        congested_latency_s: float = 1.8,
+        jitter_fraction: float = 0.25,
+    ) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.healthy_latency_s = float(healthy_latency_s)
+        self.congested_latency_s = float(congested_latency_s)
+        self.jitter_fraction = float(jitter_fraction)
+        self._windows: list[ConditionWindow] = []
+        self._default = NetworkCondition.HEALTHY
+
+    # ------------------------------------------------------------------ #
+    # Condition scheduling
+    # ------------------------------------------------------------------ #
+    def set_default_condition(self, condition: NetworkCondition) -> None:
+        """Condition in effect outside every scheduled window."""
+        self._default = NetworkCondition(condition)
+
+    def schedule_condition(
+        self, start_s: float, end_s: float, condition: NetworkCondition
+    ) -> None:
+        """Schedule a condition window, e.g. a congestion episode."""
+        if end_s <= start_s:
+            raise ValueError("window end must be after start")
+        self._windows.append(ConditionWindow(start_s, end_s, NetworkCondition(condition)))
+
+    def condition_at(self, time_s: float) -> NetworkCondition:
+        """The network condition in effect at ``time_s``.
+
+        Later-scheduled windows take precedence when windows overlap.
+        """
+        current = self._default
+        for window in self._windows:
+            if window.contains(time_s):
+                current = window.condition
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Latency sampling
+    # ------------------------------------------------------------------ #
+    def retrieval_latency(self, time_s: float) -> float | None:
+        """Sample one round-trip retrieval latency at ``time_s``.
+
+        Returns None when the cache services are unreachable (outage).
+        """
+        condition = self.condition_at(time_s)
+        if condition is NetworkCondition.OUTAGE:
+            return None
+        base = (
+            self.healthy_latency_s
+            if condition is NetworkCondition.HEALTHY
+            else self.congested_latency_s
+        )
+        jitter = self._rng.normal(0.0, base * self.jitter_fraction)
+        return float(max(0.001, base + jitter))
+
+    def probe(self, time_s: float, samples: int = 3) -> float | None:
+        """Average of several retrieval latency probes (background checks).
+
+        Used by the strategy switcher while running in SM mode to detect
+        that the network has recovered.  Returns None if any probe fails.
+        """
+        observed = []
+        for _ in range(samples):
+            latency = self.retrieval_latency(time_s)
+            if latency is None:
+                return None
+            observed.append(latency)
+        return float(np.mean(observed))

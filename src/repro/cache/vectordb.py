@@ -1,0 +1,199 @@
+"""In-memory vector database (the Qdrant stand-in).
+
+Stores prompt embeddings and answers nearest-neighbour queries by cosine
+similarity.  Two index types are provided: exact brute force over a
+contiguous matrix and an IVF (inverted file) index that trades a little
+recall for sub-linear search, the same trade-off a production VDB makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One nearest-neighbour hit."""
+
+    key: int
+    similarity: float
+    payload: dict
+
+
+class VectorDatabase:
+    """Cosine-similarity vector index with optional IVF acceleration."""
+
+    def __init__(
+        self,
+        dim: int,
+        index_type: str = "flat",
+        num_clusters: int = 16,
+        nprobe: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if index_type not in ("flat", "ivf"):
+            raise ValueError("index_type must be 'flat' or 'ivf'")
+        self.dim = int(dim)
+        self.index_type = index_type
+        self.num_clusters = int(num_clusters)
+        self.nprobe = int(nprobe)
+        self._rng = np.random.default_rng(seed)
+        self._capacity = 1024
+        self._matrix = np.zeros((self._capacity, self.dim), dtype=np.float64)
+        self._norms = np.zeros(self._capacity, dtype=np.float64)
+        self._keys: list[int] = []
+        self._payloads: dict[int, dict] = {}
+        self._assignments = np.zeros(self._capacity, dtype=np.int64)
+        self._centroids: np.ndarray | None = None
+        self._next_key = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _grow_if_needed(self) -> None:
+        if len(self._keys) < self._capacity:
+            return
+        self._capacity *= 2
+        matrix = np.zeros((self._capacity, self.dim), dtype=np.float64)
+        matrix[: len(self._keys)] = self._matrix[: len(self._keys)]
+        self._matrix = matrix
+        norms = np.zeros(self._capacity, dtype=np.float64)
+        norms[: len(self._keys)] = self._norms[: len(self._keys)]
+        self._norms = norms
+        assignments = np.zeros(self._capacity, dtype=np.int64)
+        assignments[: len(self._keys)] = self._assignments[: len(self._keys)]
+        self._assignments = assignments
+
+    def upsert(self, vector: np.ndarray, payload: dict | None = None) -> int:
+        """Insert a vector, returning its key."""
+        vector = self._check_vector(vector)
+        self._grow_if_needed()
+        index = len(self._keys)
+        key = self._next_key
+        self._next_key += 1
+        self._keys.append(key)
+        self._matrix[index] = vector
+        self._norms[index] = max(float(np.linalg.norm(vector)), 1e-12)
+        self._payloads[key] = dict(payload or {})
+        self._assignments[index] = self._assign_cluster(vector)
+        return key
+
+    def delete(self, key: int) -> bool:
+        """Delete a vector by key; returns False if the key was unknown."""
+        if key not in self._payloads:
+            return False
+        index = self._keys.index(key)
+        last = len(self._keys) - 1
+        if index != last:
+            self._keys[index] = self._keys[last]
+            self._matrix[index] = self._matrix[last]
+            self._norms[index] = self._norms[last]
+            self._assignments[index] = self._assignments[last]
+        self._keys.pop()
+        del self._payloads[key]
+        return True
+
+    def payload(self, key: int) -> dict:
+        """Payload stored for ``key``."""
+        return self._payloads[key]
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, query: np.ndarray, top_k: int = 1) -> list[SearchResult]:
+        """Return the ``top_k`` most similar stored vectors."""
+        query = self._check_vector(query)
+        count = len(self._keys)
+        if count == 0:
+            return []
+        candidate_indices = self._candidate_indices(query, count)
+        matrix = self._matrix[candidate_indices]
+        norms = self._norms[candidate_indices]
+        query_norm = max(float(np.linalg.norm(query)), 1e-12)
+        sims = (matrix @ query) / (norms * query_norm)
+        order = np.argsort(-sims)[:top_k]
+        results = []
+        for position in order:
+            idx = int(candidate_indices[int(position)])
+            key = self._keys[idx]
+            results.append(
+                SearchResult(
+                    key=key, similarity=float(sims[int(position)]), payload=self._payloads[key]
+                )
+            )
+        return results
+
+    def nearest(self, query: np.ndarray) -> SearchResult | None:
+        """Most similar stored vector, or None when the index is empty."""
+        hits = self.search(query, top_k=1)
+        return hits[0] if hits else None
+
+    # ------------------------------------------------------------------ #
+    # IVF internals
+    # ------------------------------------------------------------------ #
+    def _assign_cluster(self, vector: np.ndarray) -> int:
+        if self.index_type != "ivf":
+            return 0
+        if self._centroids is None or len(self._keys) % 256 == 1:
+            self._rebuild_centroids()
+        assert self._centroids is not None
+        sims = self._centroids @ vector
+        return int(np.argmax(sims))
+
+    def _rebuild_centroids(self) -> None:
+        count = len(self._keys)
+        if count == 0:
+            self._centroids = self._normalize_rows(
+                self._rng.normal(size=(self.num_clusters, self.dim))
+            )
+            return
+        data = self._matrix[:count]
+        sample_size = min(count, 64 * self.num_clusters)
+        sample_idx = self._rng.choice(count, size=sample_size, replace=False)
+        sample = data[sample_idx]
+        seed_count = min(self.num_clusters, len(sample))
+        centroids = sample[self._rng.choice(len(sample), size=seed_count, replace=False)]
+        if len(centroids) < self.num_clusters:
+            extra = self._rng.normal(size=(self.num_clusters - len(centroids), self.dim))
+            centroids = np.vstack([centroids, extra])
+        for _ in range(5):
+            assignments = np.argmax(sample @ centroids.T, axis=1)
+            for cluster in range(self.num_clusters):
+                members = sample[assignments == cluster]
+                if len(members):
+                    centroids[cluster] = members.mean(axis=0)
+        self._centroids = self._normalize_rows(centroids)
+        self._assignments[:count] = np.argmax(data @ self._centroids.T, axis=1)
+
+    def _candidate_indices(self, query: np.ndarray, count: int) -> np.ndarray:
+        if self.index_type != "ivf" or self._centroids is None:
+            return np.arange(count)
+        sims = self._centroids @ query
+        probe_clusters = np.argsort(-sims)[: self.nprobe]
+        mask = np.isin(self._assignments[:count], probe_clusters)
+        candidates = np.nonzero(mask)[0]
+        if len(candidates) == 0:
+            return np.arange(count)
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _check_vector(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        return vector
+
+    @staticmethod
+    def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms

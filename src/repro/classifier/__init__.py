@@ -1,0 +1,22 @@
+"""The approximation-level predictor (the paper's BERT-based classifier).
+
+Given a prompt, the classifier predicts which approximation level is optimal
+(fastest level that still produces an optimal-quality image).  One classifier
+is trained per strategy (AC and SM).  Ours is a multinomial logistic
+regression over the features in :mod:`repro.prompts.features`; it plays the
+same role in the serving pipeline and reaches the same accuracy regime.
+"""
+
+from repro.classifier.model import SoftmaxClassifier, TrainingHistory
+from repro.classifier.trainer import ClassifierTrainer, LabeledPrompts, TrainedPredictor
+from repro.classifier.drift import DriftDetector, DriftEvent
+
+__all__ = [
+    "ClassifierTrainer",
+    "DriftDetector",
+    "DriftEvent",
+    "LabeledPrompts",
+    "SoftmaxClassifier",
+    "TrainedPredictor",
+    "TrainingHistory",
+]

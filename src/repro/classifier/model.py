@@ -1,0 +1,165 @@
+"""Multinomial logistic-regression classifier trained with mini-batch SGD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and accuracy curves recorded during training."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+    validation_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def final_train_loss(self) -> float:
+        """Loss after the last epoch (inf when never trained)."""
+        return self.train_loss[-1] if self.train_loss else float("inf")
+
+    @property
+    def final_validation_accuracy(self) -> float:
+        """Validation accuracy after the last epoch (0 when never trained)."""
+        return self.validation_accuracy[-1] if self.validation_accuracy else 0.0
+
+
+class SoftmaxClassifier:
+    """Softmax regression with L2 regularisation."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        learning_rate: float = 0.25,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if num_features <= 0 or num_classes <= 1:
+            raise ValueError("need at least one feature and two classes")
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.learning_rate = float(learning_rate)
+        self.l2 = float(l2)
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0.0, 0.01, size=(num_features, num_classes))
+        self.bias = np.zeros(num_classes)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Raw class scores for a feature matrix of shape (n, d)."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return features @ self.weights + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities via a numerically stable softmax."""
+        scores = self.logits(features)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most likely class for each row."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def predict_one(self, features: np.ndarray) -> int:
+        """Most likely class for a single feature vector."""
+        return int(self.predict(np.atleast_2d(features))[0])
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy loss plus the L2 penalty."""
+        probabilities = self.predict_proba(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        n = len(labels)
+        if n == 0:
+            return 0.0
+        picked = probabilities[np.arange(n), labels]
+        nll = -np.log(np.clip(picked, 1e-12, None)).mean()
+        return float(nll + 0.5 * self.l2 * np.sum(self.weights ** 2))
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of rows classified correctly."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) == 0:
+            return 0.0
+        return float((self.predict(features) == labels).mean())
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 64,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        seed: int = 0,
+    ) -> TrainingHistory:
+        """Train with mini-batch SGD, recording loss/accuracy per epoch."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        if features.shape[0] == 0:
+            raise ValueError("cannot train on an empty dataset")
+        rng = np.random.default_rng(seed)
+        n = features.shape[0]
+
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                self._sgd_step(features[batch], labels[batch])
+            self.history.train_loss.append(self.loss(features, labels))
+            self.history.train_accuracy.append(self.accuracy(features, labels))
+            if validation is not None:
+                val_x, val_y = validation
+                self.history.validation_loss.append(self.loss(val_x, val_y))
+                self.history.validation_accuracy.append(self.accuracy(val_x, val_y))
+        return self.history
+
+    def _sgd_step(self, features: np.ndarray, labels: np.ndarray) -> None:
+        n = features.shape[0]
+        probabilities = self.predict_proba(features)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(n), labels] = 1.0
+        error = probabilities - one_hot
+        grad_w = features.T @ error / n + self.l2 * self.weights
+        grad_b = error.mean(axis=0)
+        self.weights -= self.learning_rate * grad_w
+        self.bias -= self.learning_rate * grad_b
+
+    # ------------------------------------------------------------------ #
+    # Persistence helpers
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the model parameters."""
+        return {
+            "weights": self.weights.copy(),
+            "bias": self.bias.copy(),
+            "num_features": self.num_features,
+            "num_classes": self.num_classes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore parameters from :meth:`state_dict` output."""
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        bias = np.asarray(state["bias"], dtype=np.float64)
+        if weights.shape != (self.num_features, self.num_classes):
+            raise ValueError("weight shape mismatch")
+        if bias.shape != (self.num_classes,):
+            raise ValueError("bias shape mismatch")
+        self.weights = weights.copy()
+        self.bias = bias.copy()

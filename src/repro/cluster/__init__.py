@@ -1,0 +1,22 @@
+"""Simulated GPU cluster substrate.
+
+Workers are event-driven queueing stations attached to the shared
+:class:`~repro.simulation.engine.SimulationEngine`.  Each worker serves one
+request at a time (batch size 1, per Observation 5), holds one or two models
+in GPU memory, pays the Table-2 load latency when switching SM variants, and
+can be failed / recovered to reproduce the fault experiments (Fig. 20).
+"""
+
+from repro.cluster.memory import GpuMemory
+from repro.cluster.requests import CompletedRequest, Request
+from repro.cluster.worker import Worker, WorkerState
+from repro.cluster.cluster import GpuCluster
+
+__all__ = [
+    "CompletedRequest",
+    "GpuCluster",
+    "GpuMemory",
+    "Request",
+    "Worker",
+    "WorkerState",
+]

@@ -1,0 +1,144 @@
+"""The fixed-size GPU cluster: workers, failure injection and utilisation."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.approximate import ApproximateCache
+from repro.cluster.requests import CompletedRequest, Request
+from repro.cluster.worker import Worker
+from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.simulation.engine import SimulationEngine
+
+
+class GpuCluster:
+    """A fixed pool of GPU workers sharing one simulation engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        zoo: ModelZoo,
+        num_workers: int = 8,
+        initial_level: ApproximationLevel | None = None,
+        cache: ApproximateCache | None = None,
+        memory_capacity_gib: float = 80.0,
+        on_complete: Callable[[CompletedRequest], None] | None = None,
+        on_requeue: Callable[[Request], None] | None = None,
+        blocking_loads: bool = False,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("cluster needs at least one worker")
+        self.engine = engine
+        self.zoo = zoo
+        self.cache = cache
+        level = initial_level or zoo.exact_level(Strategy.AC)
+        self.workers: list[Worker] = [
+            Worker(
+                worker_id=i,
+                engine=engine,
+                zoo=zoo,
+                level=level,
+                cache=cache,
+                memory_capacity_gib=memory_capacity_gib,
+                on_complete=on_complete,
+                on_requeue=on_requeue,
+                blocking_load=blocking_loads,
+            )
+            for i in range(num_workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Topology queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def num_workers(self) -> int:
+        """Total number of workers, healthy or failed."""
+        return len(self.workers)
+
+    @property
+    def healthy_workers(self) -> list[Worker]:
+        """Workers currently able to serve."""
+        return [w for w in self.workers if not w.is_failed]
+
+    def workers_at_level(self, rank: int, strategy: Strategy | str | None = None) -> list[Worker]:
+        """Healthy workers serving at approximation rank ``rank``."""
+        strategy = Strategy(strategy) if strategy is not None else None
+        return [
+            w
+            for w in self.healthy_workers
+            if w.level.rank == rank and (strategy is None or w.strategy == strategy)
+        ]
+
+    def level_assignment(self) -> dict[int, int]:
+        """Mapping worker id -> current approximation rank (healthy only)."""
+        return {w.worker_id: w.level.rank for w in self.healthy_workers}
+
+    def total_queue_length(self) -> int:
+        """Total requests queued or in service across healthy workers."""
+        return sum(w.outstanding for w in self.healthy_workers)
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def apply_assignment(self, ranks_per_worker: dict[int, ApproximationLevel]) -> dict[int, float]:
+        """Set each worker's level; returns per-worker switching delays."""
+        delays = {}
+        for worker in self.healthy_workers:
+            if worker.worker_id in ranks_per_worker:
+                delays[worker.worker_id] = worker.set_level(ranks_per_worker[worker.worker_id])
+        return delays
+
+    def dispatch(self, request: Request, worker_id: int) -> None:
+        """Send a request to a specific worker."""
+        worker = self.workers[worker_id]
+        if worker.is_failed:
+            raise RuntimeError(f"cannot dispatch to failed worker {worker_id}")
+        worker.enqueue(request)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def fail_worker(self, worker_id: int) -> list[Request]:
+        """Fail a worker immediately, returning orphaned requests."""
+        return self.workers[worker_id].fail()
+
+    def recover_worker(self, worker_id: int, level: ApproximationLevel | None = None) -> None:
+        """Recover a failed worker."""
+        self.workers[worker_id].recover(level)
+
+    def schedule_failure(
+        self, worker_id: int, fail_at_s: float, recover_at_s: float | None = None
+    ) -> None:
+        """Schedule a failure (and optional recovery) on the engine."""
+        self.engine.schedule_at(
+            fail_at_s, lambda _e: self.fail_worker(worker_id), name=f"fail-w{worker_id}"
+        )
+        if recover_at_s is not None:
+            if recover_at_s <= fail_at_s:
+                raise ValueError("recovery must happen after the failure")
+            self.engine.schedule_at(
+                recover_at_s,
+                lambda _e: self.recover_worker(worker_id),
+                name=f"recover-w{worker_id}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def utilization(self, elapsed_s: float | None = None) -> float:
+        """Mean busy fraction across all workers."""
+        elapsed = elapsed_s if elapsed_s is not None else self.engine.now
+        if elapsed <= 0 or not self.workers:
+            return 0.0
+        return sum(w.utilization(elapsed) for w in self.workers) / len(self.workers)
+
+    def total_requests_served(self) -> int:
+        """Requests completed across all workers."""
+        return sum(w.stats.requests_served for w in self.workers)
+
+    def total_model_loads(self) -> int:
+        """Model load operations performed across all workers."""
+        return sum(w.stats.model_loads for w in self.workers)

@@ -1,0 +1,66 @@
+"""Per-GPU memory accounting.
+
+An 80 GiB A100 can hold the SD-XL base model plus a smaller variant at the
+same time (§4.6), which is what makes Argus's hitless AC→SM switch possible:
+the new model loads while the old one keeps serving.  The memory manager
+enforces the capacity so a worker cannot silently hold more models than fit.
+"""
+
+from __future__ import annotations
+
+
+class GpuMemory:
+    """Tracks the models resident on a single GPU."""
+
+    def __init__(self, capacity_gib: float = 80.0) -> None:
+        if capacity_gib <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_gib = float(capacity_gib)
+        self._resident: dict[str, float] = {}
+
+    @property
+    def used_gib(self) -> float:
+        """Total GiB currently occupied by resident models."""
+        return sum(self._resident.values())
+
+    @property
+    def free_gib(self) -> float:
+        """Remaining capacity in GiB."""
+        return self.capacity_gib - self.used_gib
+
+    @property
+    def resident_models(self) -> list[str]:
+        """Names of models currently resident."""
+        return list(self._resident)
+
+    def is_resident(self, model_name: str) -> bool:
+        """Whether the model is already loaded."""
+        return model_name in self._resident
+
+    def can_fit(self, size_gib: float) -> bool:
+        """Whether an additional ``size_gib`` model fits."""
+        return size_gib <= self.free_gib + 1e-9
+
+    def load(self, model_name: str, size_gib: float) -> None:
+        """Mark a model resident.
+
+        Raises:
+            MemoryError: if the model does not fit; callers should evict
+                first (Argus unloads the previous variant in the background).
+        """
+        if self.is_resident(model_name):
+            return
+        if not self.can_fit(size_gib):
+            raise MemoryError(
+                f"cannot load {model_name} ({size_gib:.1f} GiB): only "
+                f"{self.free_gib:.1f} GiB free of {self.capacity_gib:.1f} GiB"
+            )
+        self._resident[model_name] = float(size_gib)
+
+    def unload(self, model_name: str) -> bool:
+        """Evict a model; returns False when it was not resident."""
+        return self._resident.pop(model_name, None) is not None
+
+    def clear(self) -> None:
+        """Evict everything (e.g. when a worker is reset)."""
+        self._resident.clear()

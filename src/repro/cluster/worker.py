@@ -1,0 +1,353 @@
+"""An event-driven GPU worker.
+
+A worker serves one request at a time (batch size 1), operates at a single
+approximation level set by the allocator, and pays the model-load latency
+when asked to switch to a different SM variant.  The GPU has room for two
+resident diffusion models, so loads happen in the background while the old
+model keeps serving — the mechanism behind Argus's hitless strategy switch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.cache.approximate import ApproximateCache
+from repro.cluster.memory import GpuMemory
+from repro.cluster.requests import CompletedRequest, Request
+from repro.models.latency import LatencyModel
+from repro.models.variants import SM_VARIANTS
+from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.simulation.engine import SimulationEngine
+
+
+class WorkerState(str, Enum):
+    """Lifecycle state of a worker."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+    FAILED = "failed"
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate counters for one worker."""
+
+    requests_served: int = 0
+    busy_time_s: float = 0.0
+    model_loads: int = 0
+    load_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class Worker:
+    """A single GPU worker in the serving cluster."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        engine: SimulationEngine,
+        zoo: ModelZoo,
+        level: ApproximationLevel,
+        cache: ApproximateCache | None = None,
+        memory_capacity_gib: float = 80.0,
+        on_complete: Callable[[CompletedRequest], None] | None = None,
+        on_requeue: Callable[[Request], None] | None = None,
+        service_jitter: float = 0.03,
+        failed_retrieval_penalty_s: float = 0.25,
+        honor_request_rank: bool = False,
+        blocking_load: bool = False,
+    ) -> None:
+        self.worker_id = int(worker_id)
+        self.engine = engine
+        self.zoo = zoo
+        self.cache = cache
+        self.memory = GpuMemory(memory_capacity_gib)
+        self.latency_model = LatencyModel(zoo.gpu)
+        self.on_complete = on_complete
+        self.on_requeue = on_requeue
+        self.service_jitter = float(service_jitter)
+        self.failed_retrieval_penalty_s = float(failed_retrieval_penalty_s)
+        #: When True (NIRVANA-style serving) an AC worker uses the per-request
+        #: assigned rank as its K instead of its own operating level.
+        self.honor_request_rank = bool(honor_request_rank)
+        #: When True, serving pauses while a model load is in progress.
+        self.blocking_load = bool(blocking_load)
+
+        self.state = WorkerState.IDLE
+        self.stats = WorkerStats()
+        self._queue: deque[Request] = deque()
+        self._current: Request | None = None
+        self._level = level
+        self._pending_level: ApproximationLevel | None = None
+        self._load_complete_time: float | None = None
+        self.memory.load(self._resident_model_name(level), level.memory_gib)
+
+    # ------------------------------------------------------------------ #
+    # Level / strategy management
+    # ------------------------------------------------------------------ #
+    @property
+    def level(self) -> ApproximationLevel:
+        """The approximation level this worker currently serves at."""
+        return self._level
+
+    @property
+    def strategy(self) -> Strategy:
+        """The strategy of the current level."""
+        return self._level.strategy
+
+    @property
+    def is_loading(self) -> bool:
+        """Whether a background model load is in progress."""
+        return self._pending_level is not None
+
+    @staticmethod
+    def _resident_model_name(level: ApproximationLevel) -> str:
+        return level.variant_name or level.name
+
+    def set_level(self, level: ApproximationLevel) -> float:
+        """Ask the worker to operate at ``level``.
+
+        Returns the switching delay in seconds: zero when the required model
+        is already resident (every AC level shares the SD-XL base, and
+        switching K is free), otherwise the Table-2 load latency.  The load
+        happens in the background; the worker keeps serving at its old level
+        until the load completes.
+        """
+        if self.state is WorkerState.FAILED:
+            raise RuntimeError(f"worker {self.worker_id} is failed")
+        target_model = self._resident_model_name(level)
+        if self.memory.is_resident(target_model):
+            self._level = level
+            self._pending_level = None
+            return 0.0
+        if self._pending_level is not None and self._resident_model_name(
+            self._pending_level
+        ) == target_model:
+            self._pending_level = level
+            return max(0.0, (self._load_complete_time or self.engine.now) - self.engine.now)
+
+        load_time = level.switch_cost_s or self._load_time_for(target_model)
+        self._start_background_load(level, target_model, load_time)
+        return load_time
+
+    def _load_time_for(self, model_name: str) -> float:
+        for variant in SM_VARIANTS:
+            if variant.name == model_name:
+                return variant.load_time_s
+        return SM_VARIANTS[0].load_time_s
+
+    def _start_background_load(
+        self, level: ApproximationLevel, model_name: str, load_time: float
+    ) -> None:
+        # Make room if both slots are occupied: evict everything that is not
+        # the active model (the previous background model).
+        active = self._resident_model_name(self._level)
+        for resident in self.memory.resident_models:
+            if resident not in (active, model_name) or (
+                not self.memory.can_fit(level.memory_gib) and resident != active
+            ):
+                self.memory.unload(resident)
+        if not self.memory.can_fit(level.memory_gib):
+            # Last resort: drop the active model too (switch is no longer
+            # hitless, but this only happens with tiny memory configs).
+            self.memory.unload(active)
+        self.memory.load(model_name, level.memory_gib)
+        self._pending_level = level
+        self._load_complete_time = self.engine.now + load_time
+        self.stats.model_loads += 1
+        self.stats.load_time_s += load_time
+        self.engine.schedule_in(load_time, self._finish_load, name=f"load-w{self.worker_id}")
+
+    def _finish_load(self, _engine: SimulationEngine) -> None:
+        if self._pending_level is None or self.state is WorkerState.FAILED:
+            return
+        old_model = self._resident_model_name(self._level)
+        new_level = self._pending_level
+        self._level = new_level
+        self._pending_level = None
+        self._load_complete_time = None
+        new_model = self._resident_model_name(new_level)
+        if old_model != new_model:
+            self.memory.unload(old_model)
+        if self.blocking_load:
+            self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Queueing
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests queued plus in service."""
+        return len(self._queue) + (1 if self._current is not None else 0)
+
+    def expected_wait_s(self) -> float:
+        """Estimated time a new arrival would wait before completing (Eq. 3)."""
+        return (self.outstanding + 1) * self._level.latency_s
+
+    def enqueue(self, request: Request) -> None:
+        """Admit a request to this worker's queue."""
+        if self.state is WorkerState.FAILED:
+            raise RuntimeError(f"worker {self.worker_id} is failed")
+        self._queue.append(request)
+        if self.state is WorkerState.IDLE:
+            self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def _start_next(self) -> None:
+        if self.state is WorkerState.FAILED or self._current is not None:
+            return
+        if self.blocking_load and self._pending_level is not None:
+            # A naive model swap blocks the serving path until the new model
+            # is resident; _finish_load resumes the queue.
+            self.state = WorkerState.IDLE
+            return
+        if not self._queue:
+            self.state = WorkerState.IDLE
+            return
+        request = self._queue.popleft()
+        self._current = request
+        self.state = WorkerState.BUSY
+        start = self.engine.now
+        profile = self._service_profile(request)
+        service_time, effective_rank, retrieval_latency, cache_hit, retrieval_failed = profile
+        record_level = self._level
+
+        def complete(_engine: SimulationEngine) -> None:
+            self._finish_request(
+                request, start, service_time, effective_rank, retrieval_latency, cache_hit,
+                retrieval_failed, record_level,
+            )
+
+        self.engine.schedule_in(service_time, complete, name=f"serve-w{self.worker_id}")
+
+    def _service_profile(self, request: Request) -> tuple[float, int, float, bool, bool]:
+        """Compute (service time, effective rank, retrieval latency, hit, failed)."""
+        level = self._level
+        if (
+            self.honor_request_rank
+            and level.strategy is Strategy.AC
+            and 0 <= request.assigned_rank < self.zoo.num_levels(Strategy.AC)
+        ):
+            level = self.zoo.level(Strategy.AC, request.assigned_rank)
+        jitter = 1.0 + float(
+            self.engine.rng(f"jitter-w{self.worker_id}").normal(0.0, self.service_jitter)
+        )
+        jitter = max(0.8, jitter)
+        if level.strategy is Strategy.SM or level.skip_steps in (None, 0) or self.cache is None:
+            return level.latency_s * jitter, level.rank, 0.0, False, False
+
+        outcome = self.cache.retrieve(request.prompt, level.skip_steps, self.engine.now)
+        effective_skip = outcome.effective_skip
+        spec = self.zoo.ac_level_spec(effective_skip) if effective_skip else None
+        base_variant = self.zoo.sm_variant(level.variant_name or "SD-XL")
+        if spec is None:
+            latency = self.latency_model.variant_latency(base_variant)
+            effective_rank = 0
+        else:
+            latency = self.latency_model.ac_latency(spec, base_variant, outcome.retrieval_latency_s)
+            effective_rank = spec.approximation_rank
+        if outcome.network_failed:
+            latency += self.failed_retrieval_penalty_s
+        if outcome.hit:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+        return (
+            latency * jitter,
+            effective_rank,
+            outcome.retrieval_latency_s,
+            outcome.hit,
+            outcome.network_failed,
+        )
+
+    def _finish_request(
+        self,
+        request: Request,
+        start: float,
+        service_time: float,
+        effective_rank: int,
+        retrieval_latency: float,
+        cache_hit: bool,
+        retrieval_failed: bool,
+        level: ApproximationLevel,
+    ) -> None:
+        if self.state is WorkerState.FAILED:
+            return
+        self._current = None
+        self.stats.requests_served += 1
+        self.stats.busy_time_s += service_time
+        if self.cache is not None and level.strategy is Strategy.AC:
+            self.cache.store_states(request.prompt)
+        record = CompletedRequest(
+            request=request,
+            worker_id=self.worker_id,
+            start_time_s=start,
+            completion_time_s=self.engine.now,
+            effective_rank=effective_rank,
+            service_time_s=service_time,
+            retrieval_latency_s=retrieval_latency,
+            cache_hit=cache_hit,
+            retrieval_failed=retrieval_failed,
+        )
+        if self.on_complete is not None:
+            self.on_complete(record)
+        self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Failures
+    # ------------------------------------------------------------------ #
+    @property
+    def is_failed(self) -> bool:
+        """Whether the worker is currently failed."""
+        return self.state is WorkerState.FAILED
+
+    def fail(self) -> list[Request]:
+        """Fail the worker, returning requests that need re-dispatching."""
+        orphans: list[Request] = []
+        if self._current is not None:
+            orphans.append(self._current)
+            self._current = None
+        orphans.extend(self._queue)
+        self._queue.clear()
+        self.state = WorkerState.FAILED
+        self._pending_level = None
+        if self.on_requeue is not None:
+            for request in orphans:
+                self.on_requeue(request)
+        return orphans
+
+    def recover(self, level: ApproximationLevel | None = None) -> None:
+        """Bring a failed worker back, optionally at a new level."""
+        if self.state is not WorkerState.FAILED:
+            return
+        self.state = WorkerState.IDLE
+        self.memory.clear()
+        target = level or self._level
+        self._level = target
+        self.memory.load(self._resident_model_name(target), target.memory_gib)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` this worker spent serving."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time_s / elapsed_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Worker(id={self.worker_id}, level={self._level}, state={self.state.value}, "
+            f"queue={self.queue_length})"
+        )

@@ -1,0 +1,46 @@
+"""Argus core: the paper's primary contribution.
+
+The pieces map one-to-one onto Fig. 3 of the paper:
+
+* :mod:`repro.core.solver` — the ILP-based Solver (block A, Eq. 1) deciding
+  how many workers run each approximation level and what share of the load
+  each level serves.
+* :mod:`repro.core.predictor` — the Workload Distribution Predictor
+  (block B) estimating the affinity histogram and the near-term load.
+* :mod:`repro.core.oda` — the Optimised Distribution Aligner and the
+  Probabilistic Approximation Shift Map (Eq. 2, Algorithm 1).
+* :mod:`repro.core.scheduler` — the Prompt Scheduler and Worker Selector
+  (blocks C/D/E, Eq. 3).
+* :mod:`repro.core.strategy` — the AC↔SM strategy switcher (§4.6).
+* :mod:`repro.core.allocator` — the periodic calibration loop tying the
+  solver, predictor and ODA together.
+* :mod:`repro.core.system` — :class:`ArgusSystem`, the end-to-end serving
+  system (and its prompt-agnostic ablation, PAC).
+"""
+
+from repro.core.config import ArgusConfig
+from repro.core.solver import AllocationPlan, AllocationSolver
+from repro.core.predictor import LoadEstimator, WorkloadDistributionPredictor
+from repro.core.oda import OptimizedDistributionAligner, ShiftMap
+from repro.core.scheduler import PromptScheduler, WorkerSelector
+from repro.core.strategy import StrategySwitcher, SwitchEvent
+from repro.core.allocator import Allocator
+from repro.core.base import BaseServingSystem
+from repro.core.system import ArgusSystem
+
+__all__ = [
+    "AllocationPlan",
+    "AllocationSolver",
+    "Allocator",
+    "ArgusConfig",
+    "ArgusSystem",
+    "BaseServingSystem",
+    "LoadEstimator",
+    "OptimizedDistributionAligner",
+    "PromptScheduler",
+    "ShiftMap",
+    "StrategySwitcher",
+    "SwitchEvent",
+    "WorkerSelector",
+    "WorkloadDistributionPredictor",
+]

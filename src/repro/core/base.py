@@ -1,0 +1,167 @@
+"""Common scaffolding shared by Argus and every baseline serving system.
+
+A serving system owns a simulation engine, the model zoo, a GPU cluster, an
+(optional) approximate cache and a metrics collector.  Subclasses implement
+the routing policy and any periodic control loops; the base class handles
+request bookkeeping and quality accounting so all systems are measured
+identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.approximate import ApproximateCache
+from repro.cache.network import NetworkModel
+from repro.cluster.cluster import GpuCluster
+from repro.cluster.requests import CompletedRequest, Request
+from repro.core.config import ArgusConfig
+from repro.metrics.collector import MetricsCollector, ServedSample
+from repro.metrics.report import RunSummary, summarize
+from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.prompts.generator import Prompt
+from repro.quality.pickscore import PickScoreModel
+from repro.simulation.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class Route:
+    """Routing outcome: where one prompt should be served."""
+
+    worker_id: int
+    predicted_rank: int
+    assigned_rank: int
+    strategy: Strategy
+
+
+class BaseServingSystem(ABC):
+    """Abstract serving system running on the simulated GPU cluster."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        pickscore: PickScoreModel | None = None,
+        network: NetworkModel | None = None,
+        initial_level: ApproximationLevel | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.config = config or ArgusConfig()
+        self.engine = SimulationEngine(seed=self.config.seed)
+        self.zoo = ModelZoo(gpu=self.config.gpu)
+        self.pickscore = pickscore or PickScoreModel(
+            num_levels=self.zoo.num_levels(Strategy.AC), seed=self.config.seed
+        )
+        self.network = network or NetworkModel(seed=self.config.seed + 1)
+        self.cache = (
+            ApproximateCache(network=self.network) if use_cache else None
+        )
+        self.collector = MetricsCollector(slo=self.config.slo)
+        self.cluster = GpuCluster(
+            engine=self.engine,
+            zoo=self.zoo,
+            num_workers=self.config.num_workers,
+            initial_level=initial_level or self.default_initial_level(),
+            cache=self.cache,
+            memory_capacity_gib=self.config.worker_memory_gib,
+            on_complete=self._handle_completion,
+            on_requeue=self._handle_requeue,
+            blocking_loads=self.config.blocking_model_loads,
+        )
+        self._request_ids = itertools.count()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def default_initial_level(self) -> ApproximationLevel:
+        """Level every worker starts at (SD-XL / K=0 by default)."""
+        return self.zoo.exact_level(self.config.default_strategy)
+
+    @abstractmethod
+    def route(self, prompt: Prompt) -> Route | None:
+        """Decide where to serve a prompt; None drops the request."""
+
+    def start(self) -> None:
+        """Install periodic control loops on the engine (optional)."""
+
+    def on_sample(self, sample: ServedSample, completed: CompletedRequest) -> None:
+        """Hook invoked after each completion is recorded (optional)."""
+
+    # ------------------------------------------------------------------ #
+    # Request lifecycle
+    # ------------------------------------------------------------------ #
+    def submit(self, prompt: Prompt) -> Request | None:
+        """Admit a prompt at the current simulated time."""
+        now = self.engine.now
+        self.collector.record_arrival(now)
+        self.observe_arrival(now, prompt)
+        route = self.route(prompt)
+        if route is None:
+            self.collector.record_drop()
+            return None
+        request = Request(
+            request_id=next(self._request_ids),
+            prompt=prompt,
+            arrival_time_s=now,
+            strategy=route.strategy,
+            predicted_rank=route.predicted_rank,
+            assigned_rank=route.assigned_rank,
+        )
+        self.cluster.dispatch(request, route.worker_id)
+        return request
+
+    def observe_arrival(self, now: float, prompt: Prompt) -> None:
+        """Hook for load estimators (optional)."""
+
+    def _handle_completion(self, completed: CompletedRequest) -> None:
+        prompt = completed.request.prompt
+        strategy = completed.request.strategy
+        score = self.pickscore.score(prompt, strategy, completed.effective_rank)
+        best = self.pickscore.best_score(prompt)
+        sample = self.collector.record_completion(completed, score, best)
+        self.on_sample(sample, completed)
+
+    def _handle_requeue(self, request: Request) -> None:
+        """Re-route requests orphaned by a worker failure."""
+        route = self.route(request.prompt)
+        if route is None:
+            self.collector.record_drop()
+            return
+        request.assigned_rank = route.assigned_rank
+        request.strategy = route.strategy
+        self.cluster.dispatch(request, route.worker_id)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def schedule_arrivals(self, timed_prompts) -> None:
+        """Schedule a request stream's arrivals on the engine."""
+        for timed in timed_prompts:
+            prompt = timed.prompt
+
+            def arrive(_engine, prompt=prompt) -> None:
+                self.submit(prompt)
+
+            self.engine.schedule_at(timed.arrival_time_s, arrive, name="arrival")
+
+    def run(self, duration_s: float, drain_s: float = 120.0) -> None:
+        """Run the simulation for ``duration_s`` plus a drain period."""
+        if not self._started:
+            self.start()
+            self._started = True
+        self.engine.run(until=duration_s + drain_s)
+
+    def summary(self, workload: str, duration_minutes: float) -> RunSummary:
+        """Summarise the run for reporting."""
+        return summarize(
+            system=self.name,
+            workload=workload,
+            collector=self.collector,
+            duration_minutes=duration_minutes,
+            cluster_utilization=self.cluster.utilization(duration_minutes * 60.0),
+            model_loads=self.cluster.total_model_loads(),
+        )

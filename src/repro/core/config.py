@@ -1,0 +1,67 @@
+"""Configuration for the Argus serving system and its baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.slo import SloPolicy
+from repro.models.zoo import Strategy
+
+
+@dataclass
+class ArgusConfig:
+    """Tunable parameters of an Argus deployment.
+
+    Defaults mirror the paper's test bed: 8 A100 workers, AC as the default
+    strategy, a one-minute re-allocation interval, a 1000-prompt look-back
+    window for the affinity predictor, and an SLO of 3x SD-XL latency.
+    """
+
+    num_workers: int = 8
+    gpu: str = "A100"
+    default_strategy: Strategy = Strategy.AC
+    #: How often the Allocator re-solves the ILP and refreshes the PASM.
+    reallocation_interval_s: float = 60.0
+    #: Look-back window (number of prompts) for the affinity histogram.
+    affinity_lookback: int = 1000
+    #: Safety factor applied to the estimated load before solving, so the
+    #: planned allocation keeps queueing headroom below the SLO budget.
+    load_safety_factor: float = 1.25
+    #: Extra capacity margin used while an AC→SM switch is in flight (§4.6).
+    switch_margin: float = 1.5
+    #: Cache-retrieval latency (seconds) above which Argus abandons AC.
+    retrieval_latency_threshold_s: float = 0.6
+    #: Consecutive slow/failed retrieval observations required to switch.
+    retrieval_violations_to_switch: int = 20
+    #: Interval between background network probes while running on SM.
+    probe_interval_s: float = 30.0
+    #: Latency SLO policy (3x the largest model by default).
+    slo: SloPolicy = field(default_factory=SloPolicy)
+    #: Number of prompts used to train / retrain the classifier.
+    classifier_training_prompts: int = 2000
+    #: Epochs per classifier (re)training session.
+    classifier_epochs: int = 20
+    #: Number of prompts used to profile per-level quality for the solver.
+    profiling_prompts: int = 1000
+    #: GPU memory per worker in GiB.
+    worker_memory_gib: float = 80.0
+    #: When True, a worker stops serving while it loads a new model variant.
+    #: Argus keeps this False (it serves with the resident model while the
+    #: new one loads, §4.6); baselines that naively swap models pay the full
+    #: Table-2 load latency on the serving path.
+    blocking_model_loads: bool = False
+    #: Random seed for every stochastic component.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.reallocation_interval_s <= 0:
+            raise ValueError("reallocation interval must be positive")
+        if self.affinity_lookback <= 0:
+            raise ValueError("affinity_lookback must be positive")
+        if self.load_safety_factor < 1.0:
+            raise ValueError("load_safety_factor must be >= 1.0")
+        if self.switch_margin < 1.0:
+            raise ValueError("switch_margin must be >= 1.0")
+        self.default_strategy = Strategy(self.default_strategy)

@@ -1,0 +1,181 @@
+"""Optimised Distribution Aligner (ODA) and the PASM (§4.3, Algorithm 1).
+
+ODA takes the affinity distribution ``f(l)`` (how many prompts would ideally
+run at each approximation level) and the feasible load distribution ``g(l)``
+(how much load each level can actually absorb, from the Solver) and computes
+the Probabilistic Approximation Shift Map: for each affinity level, the
+probabilities with which its prompts should be redirected to the available
+levels so that the realised load matches ``g`` while the expected quality
+degradation (Eq. 2) is minimised.
+
+Key property (the paper's optimality argument): shifting a prompt to a
+*slower* (less approximate) level never degrades quality, while shifting to
+a *faster* level degrades quality super-linearly in the rank gap — so
+deficits at fast levels are filled from the *nearest* slower levels first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quality.degradation import DegradationProfile
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class ShiftMap:
+    """The Probabilistic Approximation Shift Map (PASM).
+
+    ``matrix[a, t]`` is the probability that a prompt whose affinity
+    (classifier-predicted optimal level) is rank ``a`` gets served at rank
+    ``t``.  Rows sum to one.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("PASM must be a square matrix")
+        if np.any(matrix < -1e-9):
+            raise ValueError("PASM probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError("every PASM row must sum to 1")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of approximation levels covered."""
+        return self.matrix.shape[0]
+
+    @classmethod
+    def identity(cls, num_levels: int) -> "ShiftMap":
+        """PASM that never shifts any prompt."""
+        return cls(matrix=np.eye(num_levels))
+
+    @classmethod
+    def load_proportional(cls, load_distribution: np.ndarray) -> "ShiftMap":
+        """Prompt-agnostic PASM: every prompt is routed by load share alone.
+
+        This is the "random redistribution" baseline of Fig. 10 and the PAC
+        ablation's routing rule.
+        """
+        load_distribution = np.asarray(load_distribution, dtype=np.float64)
+        if load_distribution.sum() <= 0:
+            raise ValueError("load distribution must have positive mass")
+        normalized = load_distribution / load_distribution.sum()
+        matrix = np.tile(normalized, (len(normalized), 1))
+        return cls(matrix=matrix)
+
+    def probability(self, affinity_rank: int, target_rank: int) -> float:
+        """P(target | affinity)."""
+        return float(self.matrix[affinity_rank, target_rank])
+
+    def sample_target(self, affinity_rank: int, rng: np.random.Generator) -> int:
+        """Draw a target level for one prompt with the given affinity."""
+        row = self.matrix[affinity_rank]
+        return int(rng.choice(len(row), p=row / row.sum()))
+
+    def resulting_distribution(self, affinity_distribution: np.ndarray) -> np.ndarray:
+        """The level distribution realised when ``affinity_distribution`` is
+        pushed through the PASM."""
+        affinity_distribution = np.asarray(affinity_distribution, dtype=np.float64)
+        return affinity_distribution @ self.matrix
+
+    def expected_degradation(
+        self, affinity_distribution: np.ndarray, degradation: DegradationProfile
+    ) -> float:
+        """Expected per-prompt quality loss D_N (the Eq. 2 objective)."""
+        affinity_distribution = np.asarray(affinity_distribution, dtype=np.float64)
+        total = 0.0
+        for affinity in range(self.num_levels):
+            for target in range(self.num_levels):
+                if target <= affinity:
+                    continue
+                total += (
+                    self.matrix[affinity, target]
+                    * affinity_distribution[affinity]
+                    * degradation.loss(target, affinity)
+                )
+        return float(total)
+
+
+class OptimizedDistributionAligner:
+    """Computes the PASM from the affinity and load distributions."""
+
+    def align(self, affinity: np.ndarray, load: np.ndarray) -> ShiftMap:
+        """Run Algorithm 1 and return the PASM.
+
+        Args:
+            affinity: f(l), fraction of prompts whose optimal level is l.
+            load: g(l), fraction of the load the Solver assigned to level l.
+
+        Both arrays are normalised defensively; they must be the same length.
+        """
+        f = self._normalize(affinity)
+        g = self._normalize(load)
+        if f.shape != g.shape:
+            raise ValueError("affinity and load distributions must have equal length")
+        num_levels = len(f)
+
+        # flow[a, t]: mass of prompts with original affinity a currently
+        # parked at level t.  Moving mass between levels moves it from every
+        # affinity proportionally, which reproduces the probability
+        # composition at the end of Algorithm 1.
+        flow = np.diag(f).astype(np.float64)
+        current = f.copy()
+
+        def move(src: int, dst: int, amount: float) -> None:
+            if amount <= _EPSILON or current[src] <= _EPSILON:
+                return
+            amount = min(amount, current[src])
+            fraction = amount / current[src]
+            moved = flow[:, src] * fraction
+            flow[:, src] -= moved
+            flow[:, dst] += moved
+            current[src] -= amount
+            current[dst] += amount
+
+        # Iterate from the most approximate (fastest) level towards the
+        # least approximate; rank r-1 is the immediately slower level.
+        for rank in range(num_levels - 1, 0, -1):
+            if current[rank] > g[rank] + _EPSILON:
+                # Surplus affinity: push the excess one step towards the
+                # slower neighbour.  No quality degradation.
+                move(rank, rank - 1, current[rank] - g[rank])
+            elif current[rank] < g[rank] - _EPSILON:
+                # Deficit: pull prompts up from the nearest slower levels.
+                deficit = g[rank] - current[rank]
+                step = 1
+                while deficit > _EPSILON and rank - step >= 0:
+                    source = rank - step
+                    shift = min(current[source], deficit)
+                    move(source, rank, shift)
+                    deficit -= shift
+                    step += 1
+
+        matrix = np.zeros((num_levels, num_levels), dtype=np.float64)
+        for affinity_rank in range(num_levels):
+            if f[affinity_rank] > _EPSILON:
+                matrix[affinity_rank] = flow[affinity_rank] / f[affinity_rank]
+            else:
+                matrix[affinity_rank, affinity_rank] = 1.0
+        # Clean up numerical dust and renormalise each row.
+        matrix[matrix < 0] = 0.0
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        return ShiftMap(matrix=matrix)
+
+    @staticmethod
+    def _normalize(distribution: np.ndarray) -> np.ndarray:
+        distribution = np.asarray(distribution, dtype=np.float64).copy()
+        if distribution.ndim != 1 or len(distribution) == 0:
+            raise ValueError("distribution must be a non-empty 1-D array")
+        if np.any(distribution < -1e-12):
+            raise ValueError("distribution values must be non-negative")
+        total = distribution.sum()
+        if total <= 0:
+            raise ValueError("distribution must have positive mass")
+        return distribution / total

@@ -1,0 +1,146 @@
+"""Workload Distribution Predictor and load estimator (block B of Fig. 3).
+
+The predictor keeps a look-back window of the classifier's optimal-level
+predictions and aggregates them into the affinity histogram ``f(l)`` that
+ODA aligns against the solver's load distribution ``g(l)``.  The load
+estimator tracks recent arrivals to produce the target QPM ``R_t`` the
+solver plans for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class WorkloadDistributionPredictor:
+    """Sliding-window estimator of the prompt affinity distribution f(l)."""
+
+    def __init__(self, num_levels: int, lookback: int = 1000) -> None:
+        if num_levels <= 0:
+            raise ValueError("num_levels must be positive")
+        if lookback <= 0:
+            raise ValueError("lookback must be positive")
+        self.num_levels = int(num_levels)
+        self.lookback = int(lookback)
+        self._window: deque[int] = deque(maxlen=self.lookback)
+
+    def observe(self, predicted_rank: int) -> None:
+        """Record one classifier prediction."""
+        if not 0 <= predicted_rank < self.num_levels:
+            raise ValueError(f"rank {predicted_rank} outside [0, {self.num_levels - 1}]")
+        self._window.append(int(predicted_rank))
+
+    def observe_many(self, predicted_ranks: list[int]) -> None:
+        """Record several predictions at once (e.g. warm-up history)."""
+        for rank in predicted_ranks:
+            self.observe(rank)
+
+    @property
+    def num_observations(self) -> int:
+        """Number of predictions currently in the window."""
+        return len(self._window)
+
+    def affinity_distribution(self) -> np.ndarray:
+        """Current estimate of f(l); uniform when no data has been seen."""
+        counts = np.zeros(self.num_levels, dtype=np.float64)
+        for rank in self._window:
+            counts[rank] += 1
+        if counts.sum() == 0:
+            return np.full(self.num_levels, 1.0 / self.num_levels)
+        return counts / counts.sum()
+
+    def prediction_error(self, true_distribution: np.ndarray) -> float:
+        """L2 error against a ground-truth distribution (§5.7 reports <=0.01)."""
+        true_distribution = np.asarray(true_distribution, dtype=np.float64)
+        if true_distribution.shape != (self.num_levels,):
+            raise ValueError("distribution length mismatch")
+        return float(np.linalg.norm(self.affinity_distribution() - true_distribution))
+
+    def reset(self) -> None:
+        """Clear the window (used when the strategy switches)."""
+        self._window.clear()
+
+
+class LoadEstimator:
+    """Estimates the near-term offered load (QPM) from recent arrivals."""
+
+    def __init__(
+        self,
+        window_minutes: int = 5,
+        safety_factor: float = 1.1,
+        ewma_alpha: float = 0.5,
+    ) -> None:
+        if window_minutes <= 0:
+            raise ValueError("window_minutes must be positive")
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1.0")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.window_minutes = int(window_minutes)
+        self.safety_factor = float(safety_factor)
+        self.ewma_alpha = float(ewma_alpha)
+        self._minute_counts: deque[tuple[int, int]] = deque(maxlen=self.window_minutes)
+        self._current_minute: int | None = None
+        self._current_count = 0
+        self._ewma: float | None = None
+        self._last_arrival_s = 0.0
+
+    def observe_arrival(self, time_s: float) -> None:
+        """Record one arrival at simulated time ``time_s``."""
+        minute = int(time_s // 60)
+        if self._current_minute is None:
+            self._current_minute = minute
+        while minute > self._current_minute:
+            self._roll_minute()
+        self._current_count += 1
+        self._last_arrival_s = float(time_s)
+
+    def _roll_minute(self) -> None:
+        assert self._current_minute is not None
+        self._minute_counts.append((self._current_minute, self._current_count))
+        count = float(self._current_count)
+        self._ewma = (
+            count
+            if self._ewma is None
+            else self.ewma_alpha * count + (1.0 - self.ewma_alpha) * self._ewma
+        )
+        self._current_minute += 1
+        self._current_count = 0
+
+    def estimated_qpm(self) -> float:
+        """Predicted load for the next interval, with the safety factor.
+
+        Uses the max of the EWMA and the most recent complete minute so the
+        estimate reacts quickly to upward spikes while smoothing noise, and
+        includes the current partial minute extrapolated to a full minute.
+        """
+        candidates: list[float] = []
+        if self._ewma is not None:
+            candidates.append(self._ewma)
+        if self._minute_counts:
+            candidates.append(float(self._minute_counts[-1][1]))
+        if self._current_count > 0 and self._current_minute is not None:
+            # Extrapolate the partially observed minute to a full-minute rate.
+            # Short windows are noisy, so the extrapolation is only used once
+            # enough of the minute has been observed — except on a cold start
+            # (no completed minute yet), where reacting early matters more
+            # than precision.
+            elapsed = self._last_arrival_s - self._current_minute * 60.0
+            cold_start = not self._minute_counts and self._ewma is None
+            minimum_window = 5.0 if cold_start else 30.0
+            if elapsed >= minimum_window:
+                candidates.append(self._current_count * 60.0 / min(elapsed, 60.0))
+            elif cold_start:
+                candidates.append(self._current_count * 60.0 / minimum_window)
+        if not candidates:
+            return 0.0
+        return max(candidates) * self.safety_factor
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._minute_counts.clear()
+        self._current_minute = None
+        self._current_count = 0
+        self._ewma = None

@@ -1,0 +1,175 @@
+"""Prompt Scheduler and Worker Selector (blocks C/D/E of Fig. 3, Eq. 3).
+
+For each incoming prompt the scheduler asks the classifier for the prompt's
+optimal approximation level, shifts it through the PASM to a level the
+cluster can actually absorb, and then picks the concrete worker at that
+level with the smallest expected wait (queue length x per-request latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classifier.trainer import TrainedPredictor
+from repro.cluster.cluster import GpuCluster
+from repro.cluster.worker import Worker
+from repro.core.oda import ShiftMap
+from repro.models.zoo import Strategy
+from repro.prompts.generator import Prompt
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of routing one prompt."""
+
+    predicted_rank: int
+    assigned_rank: int
+    worker_id: int
+    strategy: Strategy
+
+
+class WorkerSelector:
+    """Implements Eq. 3: pick the worker minimising queued work."""
+
+    def select(self, candidates: list[Worker]) -> Worker:
+        """Worker with the smallest expected completion time for a new request."""
+        if not candidates:
+            raise ValueError("no candidate workers")
+        return min(candidates, key=lambda w: (w.outstanding * w.level.latency_s, w.worker_id))
+
+
+class PromptScheduler:
+    """Routes prompts to workers using the classifier and the PASM."""
+
+    def __init__(
+        self,
+        cluster: GpuCluster,
+        num_levels: int,
+        rng: np.random.Generator | None = None,
+        selector: WorkerSelector | None = None,
+        slo_budget_s: float | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.num_levels = int(num_levels)
+        self.rng = rng or np.random.default_rng(0)
+        self.selector = selector or WorkerSelector()
+        #: Latency budget used for tail-latency protection (§4.7): when the
+        #: chosen worker's expected wait would blow the SLO, the prompt is
+        #: escalated to a faster level that still has headroom.  None
+        #: disables the protection.
+        self.slo_budget_s = slo_budget_s
+        self._predictor: TrainedPredictor | None = None
+        self._shift_map: ShiftMap = ShiftMap.identity(num_levels)
+        self._strategy: Strategy = Strategy.AC
+        #: Counters for §5.7's switching-overhead analysis.
+        self.shifted_requests = 0
+        self.routed_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Configuration (updated by the Allocator / strategy switcher)
+    # ------------------------------------------------------------------ #
+    def set_predictor(self, predictor: TrainedPredictor | None) -> None:
+        """Install the classifier for the active strategy (None = agnostic)."""
+        self._predictor = predictor
+
+    def set_shift_map(self, shift_map: ShiftMap) -> None:
+        """Install a freshly computed PASM."""
+        if shift_map.num_levels != self.num_levels:
+            raise ValueError("PASM level count does not match the scheduler")
+        self._shift_map = shift_map
+
+    def set_strategy(self, strategy: Strategy) -> None:
+        """Record the active approximation strategy."""
+        self._strategy = Strategy(strategy)
+
+    @property
+    def strategy(self) -> Strategy:
+        """The strategy new requests will be tagged with."""
+        return self._strategy
+
+    @property
+    def shift_map(self) -> ShiftMap:
+        """The PASM currently in force."""
+        return self._shift_map
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def predict_rank(self, prompt: Prompt) -> int:
+        """Classifier prediction of the prompt's optimal level.
+
+        Falls back to the least approximate level when no classifier is
+        installed (prompt-agnostic mode).
+        """
+        if self._predictor is None:
+            return 0
+        rank = self._predictor.predict_rank(prompt)
+        return int(np.clip(rank, 0, self.num_levels - 1))
+
+    def route(self, prompt: Prompt) -> RoutingDecision | None:
+        """Route one prompt; returns None when no healthy worker exists."""
+        predicted = self.predict_rank(prompt)
+        assigned = self._shift_map.sample_target(predicted, self.rng)
+        worker = self._find_worker(assigned)
+        if worker is None:
+            return None
+        worker = self._protect_slo(worker)
+        self.routed_requests += 1
+        if worker.level.rank != predicted:
+            self.shifted_requests += 1
+        return RoutingDecision(
+            predicted_rank=predicted,
+            assigned_rank=worker.level.rank,
+            worker_id=worker.worker_id,
+            strategy=worker.strategy,
+        )
+
+    def _find_worker(self, target_rank: int) -> Worker | None:
+        """Worker at the target rank, or the nearest rank with healthy workers.
+
+        Nearest is measured in rank distance with preference for slower
+        (lower-rank, higher-quality) levels on ties — shifting down never
+        hurts quality.
+        """
+        healthy = self.cluster.healthy_workers
+        if not healthy:
+            return None
+        exact = [w for w in healthy if w.level.rank == target_rank]
+        if exact:
+            return self.selector.select(exact)
+        by_distance = sorted(
+            healthy, key=lambda w: (abs(w.level.rank - target_rank), w.level.rank)
+        )
+        nearest_rank = by_distance[0].level.rank
+        candidates = [w for w in healthy if w.level.rank == nearest_rank]
+        return self.selector.select(candidates)
+
+    def _protect_slo(self, worker: Worker) -> Worker:
+        """Escalate to a faster worker when the expected wait blows the SLO.
+
+        Mirrors §4.7: "During tail latency conditions, Argus selects smaller
+        variants to satisfy SLO constraints."  The escalation prefers the
+        slowest (highest-quality) alternative that still fits the budget;
+        when nothing fits, it falls back to the globally least-loaded worker.
+        """
+        if self.slo_budget_s is None:
+            return worker
+        budget = 0.85 * self.slo_budget_s
+        if worker.expected_wait_s() <= budget:
+            return worker
+        healthy = self.cluster.healthy_workers
+        fitting = [w for w in healthy if w.expected_wait_s() <= budget]
+        if fitting:
+            # Among workers that meet the budget, keep as much quality as
+            # possible (lowest rank), breaking ties by shortest wait.
+            return min(fitting, key=lambda w: (w.level.rank, w.expected_wait_s(), w.worker_id))
+        return min(healthy, key=lambda w: (w.expected_wait_s(), w.worker_id))
+
+    @property
+    def shift_fraction(self) -> float:
+        """Fraction of routed requests that were shifted off their optimal level."""
+        if self.routed_requests == 0:
+            return 0.0
+        return self.shifted_requests / self.routed_requests

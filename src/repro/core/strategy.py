@@ -1,0 +1,116 @@
+"""Approximation-strategy switching (§4.6).
+
+Argus runs approximate caching by default.  The switcher watches the
+retrieval latencies observed by AC requests; when too many consecutive
+observations are slow (or the cache is unreachable), it flips the system to
+the smaller-models strategy.  While on SM it periodically probes the network
+in the background and switches back once retrievals are healthy again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.models.zoo import Strategy
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """Record of one strategy switch."""
+
+    time_s: float
+    from_strategy: Strategy
+    to_strategy: Strategy
+    reason: str
+
+
+@dataclass
+class StrategySwitcher:
+    """Decides which approximation strategy should be active."""
+
+    #: Retrieval latency above which an observation counts as degraded.
+    retrieval_latency_threshold_s: float = 0.6
+    #: Number of consecutive degraded observations that trigger AC -> SM.
+    violations_to_switch: int = 20
+    #: Number of consecutive healthy probes required to switch back to AC.
+    probes_to_recover: int = 3
+    allow_switching: bool = True
+
+    active: Strategy = Strategy.AC
+    events: list[SwitchEvent] = field(default_factory=list)
+    _consecutive_violations: int = 0
+    _consecutive_healthy_probes: int = 0
+    _recent_latencies: deque = field(default_factory=lambda: deque(maxlen=50))
+
+    # ------------------------------------------------------------------ #
+    # Observations from the serving path
+    # ------------------------------------------------------------------ #
+    def observe_retrieval(self, latency_s: float | None, now_s: float) -> Strategy:
+        """Record a cache-retrieval outcome from a served AC request.
+
+        Args:
+            latency_s: the observed retrieval latency, or None when the
+                cache services were unreachable.
+            now_s: current simulated time.
+
+        Returns:
+            The strategy that should be active after this observation.
+        """
+        if self.active is not Strategy.AC:
+            return self.active
+        degraded = latency_s is None or latency_s > self.retrieval_latency_threshold_s
+        if latency_s is not None:
+            self._recent_latencies.append(latency_s)
+        if degraded:
+            self._consecutive_violations += 1
+        else:
+            self._consecutive_violations = 0
+        if (
+            self.allow_switching
+            and self._consecutive_violations >= self.violations_to_switch
+        ):
+            self._switch(Strategy.SM, now_s, reason="cache retrieval degraded")
+        return self.active
+
+    def observe_probe(self, latency_s: float | None, now_s: float) -> Strategy:
+        """Record a background probe result while running on SM."""
+        if self.active is not Strategy.SM:
+            return self.active
+        healthy = latency_s is not None and latency_s <= self.retrieval_latency_threshold_s
+        if healthy:
+            self._consecutive_healthy_probes += 1
+        else:
+            self._consecutive_healthy_probes = 0
+        if self.allow_switching and self._consecutive_healthy_probes >= self.probes_to_recover:
+            self._switch(Strategy.AC, now_s, reason="cache retrieval recovered")
+        return self.active
+
+    def force_strategy(self, strategy: Strategy, now_s: float, reason: str = "forced") -> None:
+        """Force a strategy (used by ablations and tests)."""
+        if Strategy(strategy) is not self.active:
+            self._switch(Strategy(strategy), now_s, reason=reason)
+
+    def _switch(self, to_strategy: Strategy, now_s: float, reason: str) -> None:
+        self.events.append(
+            SwitchEvent(
+                time_s=now_s, from_strategy=self.active, to_strategy=to_strategy, reason=reason
+            )
+        )
+        self.active = to_strategy
+        self._consecutive_violations = 0
+        self._consecutive_healthy_probes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_switches(self) -> int:
+        """How many times the strategy has changed."""
+        return len(self.events)
+
+    def recent_mean_retrieval_latency(self) -> float | None:
+        """Mean of recently observed retrieval latencies, None when unseen."""
+        if not self._recent_latencies:
+            return None
+        return float(sum(self._recent_latencies) / len(self._recent_latencies))

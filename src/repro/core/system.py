@@ -1,0 +1,235 @@
+"""ArgusSystem: the end-to-end quality-aware serving system.
+
+Wires together every component of Fig. 3: the per-strategy classifiers, the
+Allocator (Solver + Workload Distribution Predictor + ODA), the Prompt
+Scheduler with its PASM, the strategy switcher, drift-triggered classifier
+retraining, and the simulated GPU cluster with approximate caching.
+
+``ArgusSystem(prompt_aware=False)`` is the PAC ablation from §5.1: it keeps
+the AC/SM switching and the load-aware solver but routes prompts agnostic of
+their individual approximation tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.classifier.drift import DriftDetector
+from repro.classifier.trainer import ClassifierTrainer, TrainedPredictor
+from repro.cluster.requests import CompletedRequest
+from repro.core.allocator import Allocator
+from repro.core.base import BaseServingSystem, Route
+from repro.core.config import ArgusConfig
+from repro.core.scheduler import PromptScheduler
+from repro.core.strategy import StrategySwitcher
+from repro.metrics.collector import ServedSample
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.prompts.generator import Prompt
+from repro.quality.profiles import QualityProfiler
+from repro.simulation.engine import SimulationEngine
+
+
+class ArgusSystem(BaseServingSystem):
+    """Quality-aware high-throughput T2I serving (the paper's system)."""
+
+    name = "Argus"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        prompt_aware: bool = True,
+        allow_strategy_switching: bool = True,
+        training_dataset: PromptDataset | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(config=config, **kwargs)
+        self.prompt_aware = bool(prompt_aware)
+        if not self.prompt_aware:
+            self.name = "PAC"
+
+        # ------------------------------------------------------------ #
+        # Offline phase: classifier training and per-level profiling
+        # ------------------------------------------------------------ #
+        dataset = training_dataset or PromptDataset.synthetic(
+            count=self.config.classifier_training_prompts,
+            seed=self.config.seed + 101,
+        )
+        self._training_prompts = dataset.prompts
+        trainer = ClassifierTrainer(self.pickscore)
+        self.trainer = trainer
+        self.classifiers: dict[Strategy, TrainedPredictor] = {}
+        if self.prompt_aware:
+            self.classifiers = trainer.train_both_strategies(
+                self._training_prompts,
+                epochs=self.config.classifier_epochs,
+                seed=self.config.seed,
+            )
+        profiler = QualityProfiler(self.zoo, self.pickscore)
+        profiling_prompts = self._training_prompts[: self.config.profiling_prompts]
+        quality_vectors = {
+            strategy: profiler.quality_vector(strategy, profiling_prompts)
+            for strategy in (Strategy.AC, Strategy.SM)
+        }
+
+        # ------------------------------------------------------------ #
+        # Online components
+        # ------------------------------------------------------------ #
+        self.scheduler = PromptScheduler(
+            cluster=self.cluster,
+            num_levels=self.zoo.num_levels(self.config.default_strategy),
+            rng=np.random.default_rng(self.config.seed + 7),
+            slo_budget_s=self.config.slo.budget_s,
+        )
+        self.allocator = Allocator(
+            config=self.config,
+            zoo=self.zoo,
+            cluster=self.cluster,
+            scheduler=self.scheduler,
+            quality_vectors=quality_vectors,
+            prompt_aware=self.prompt_aware,
+        )
+        self.switcher = StrategySwitcher(
+            retrieval_latency_threshold_s=self.config.retrieval_latency_threshold_s,
+            violations_to_switch=self.config.retrieval_violations_to_switch,
+            allow_switching=allow_strategy_switching,
+            active=self.config.default_strategy,
+        )
+        self.drift_detector = DriftDetector()
+        self.retraining_events = 0
+        self._recent_prompts: deque[Prompt] = deque(maxlen=self.config.classifier_training_prompts)
+
+        self._apply_strategy(self.config.default_strategy)
+        if self.cache is not None:
+            self.cache.warm(self._training_prompts[:300])
+
+        # Seed the affinity predictor with the training prompts so the first
+        # PASM is informative rather than uniform.
+        if self.prompt_aware:
+            for strategy, predictor in self.classifiers.items():
+                ranks = predictor.predict_ranks(
+                    self._training_prompts[: self.config.affinity_lookback]
+                )
+                for rank in ranks:
+                    self.allocator.observe_affinity(strategy, rank)
+
+    # ------------------------------------------------------------------ #
+    # Strategy handling
+    # ------------------------------------------------------------------ #
+    @property
+    def active_strategy(self) -> Strategy:
+        """The approximation strategy currently in force."""
+        return self.switcher.active
+
+    def _apply_strategy(self, strategy: Strategy) -> None:
+        strategy = Strategy(strategy)
+        self.scheduler.set_strategy(strategy)
+        predictor = self.classifiers.get(strategy) if self.prompt_aware else None
+        self.scheduler.set_predictor(predictor)
+
+    def _on_strategy_change(self, strategy: Strategy) -> None:
+        self._apply_strategy(strategy)
+        self.allocator.switching_in_progress = True
+        self.allocator.recalibrate(self.engine.now, strategy)
+
+    # ------------------------------------------------------------------ #
+    # BaseServingSystem hooks
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Install the periodic allocation / probing loop."""
+        self.allocator.recalibrate(self.engine.now, self.active_strategy)
+
+        def tick(engine: SimulationEngine) -> None:
+            was_switching = self.allocator.switching_in_progress
+            if self.active_strategy is Strategy.SM and self.cache is not None:
+                probe = self.cache.probe_network(engine.now)
+                previous = self.switcher.active
+                self.switcher.observe_probe(probe, engine.now)
+                if self.switcher.active is not previous:
+                    self._on_strategy_change(self.switcher.active)
+                    return
+            self.allocator.recalibrate(engine.now, self.active_strategy)
+            if was_switching:
+                self.allocator.switching_in_progress = False
+
+        # The first re-calibration runs a few seconds in (once some arrivals
+        # have been observed) so a cold start under load does not wait a full
+        # interval before approximating; after that, ticks follow the
+        # configured interval.
+        def first_tick(engine: SimulationEngine) -> None:
+            tick(engine)
+            engine.schedule_every(
+                self.config.reallocation_interval_s, tick, name="argus-allocator"
+            )
+
+        self.engine.schedule_in(
+            min(10.0, self.config.reallocation_interval_s), first_tick, name="argus-allocator-warmup"
+        )
+
+    def observe_arrival(self, now: float, prompt: Prompt) -> None:
+        """Feed the load estimator."""
+        self.allocator.observe_arrival(now)
+
+    def route(self, prompt: Prompt) -> Route | None:
+        """Classifier + PASM + worker-selector routing."""
+        decision = self.scheduler.route(prompt)
+        if decision is None:
+            return None
+        self.allocator.observe_affinity(self.active_strategy, decision.predicted_rank)
+        return Route(
+            worker_id=decision.worker_id,
+            predicted_rank=decision.predicted_rank,
+            assigned_rank=decision.assigned_rank,
+            strategy=decision.strategy,
+        )
+
+    def on_sample(self, sample: ServedSample, completed: CompletedRequest) -> None:
+        """React to a completion: drift detection and retrieval monitoring."""
+        self._recent_prompts.append(completed.request.prompt)
+
+        if self.prompt_aware:
+            drift = self.drift_detector.observe(sample.pickscore)
+            if drift is not None:
+                self._retrain_classifiers()
+
+        attempted_retrieval = (
+            completed.request.strategy is Strategy.AC
+            and (completed.retrieval_failed or completed.retrieval_latency_s > 0.0)
+        )
+        if attempted_retrieval:
+            previous = self.switcher.active
+            observed = None if completed.retrieval_failed else completed.retrieval_latency_s
+            self.switcher.observe_retrieval(observed, self.engine.now)
+            if self.switcher.active is not previous:
+                self._on_strategy_change(self.switcher.active)
+
+    # ------------------------------------------------------------------ #
+    # Classifier retraining (off the critical path)
+    # ------------------------------------------------------------------ #
+    def _retrain_classifiers(self) -> None:
+        prompts = list(self._recent_prompts)
+        if len(prompts) < 50 or not self.prompt_aware:
+            return
+        self.retraining_events += 1
+        for strategy in (Strategy.AC, Strategy.SM):
+            self.classifiers[strategy] = self.trainer.train(
+                prompts,
+                strategy,
+                epochs=max(4, self.config.classifier_epochs // 2),
+                seed=self.config.seed + self.retraining_events,
+            )
+        self._apply_strategy(self.active_strategy)
+        self.drift_detector.reset()
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the benchmarks
+    # ------------------------------------------------------------------ #
+    def shift_fraction(self) -> float:
+        """Fraction of requests shifted off their predicted optimal level."""
+        return self.scheduler.shift_fraction
+
+    def num_strategy_switches(self) -> int:
+        """How many AC<->SM switches occurred during the run."""
+        return self.switcher.num_switches

@@ -1,0 +1,15 @@
+"""Experiment harness: end-to-end runs used by the benchmarks and examples."""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    build_system,
+    compare_systems,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "build_system",
+    "compare_systems",
+]

@@ -1,0 +1,19 @@
+"""A small integer-linear-programming substrate (the Gurobi stand-in).
+
+The Allocator solves Eq. 1 every minute; the production system calls Gurobi.
+This package provides a generic modelling layer plus a branch-and-bound
+solver on top of ``scipy.optimize.linprog`` and is used by the Argus Solver
+in :mod:`repro.core.solver`.
+"""
+
+from repro.ilp.model import Constraint, IlpProblem, SolveStatus, Solution, Variable
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "IlpProblem",
+    "Solution",
+    "SolveStatus",
+    "Variable",
+]

@@ -1,0 +1,149 @@
+"""Modelling layer for linear and mixed-integer linear programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SolveStatus(str, Enum):
+    """Outcome of a solve attempt."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable with bounds and integrality."""
+
+    name: str
+    lower: float = 0.0
+    upper: float | None = None
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.upper is not None and self.upper < self.lower:
+            raise ValueError(f"variable {self.name}: upper bound below lower bound")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``sum(coeff * var) <sense> rhs``."""
+
+    coefficients: dict
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unsupported constraint sense {self.sense!r}")
+
+
+@dataclass
+class Solution:
+    """Result of solving a problem."""
+
+    status: SolveStatus
+    objective: float = 0.0
+    values: dict = field(default_factory=dict)
+    #: Number of branch-and-bound nodes explored (1 for pure LPs).
+    nodes_explored: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when a provably optimal solution was found."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, name: str) -> float:
+        """Value of a variable in the solution."""
+        return float(self.values[name])
+
+
+class IlpProblem:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "", maximize: bool = True) -> None:
+        self.name = name
+        self.maximize = bool(maximize)
+        self._variables: dict[str, Variable] = {}
+        self._objective: dict[str, float] = {}
+        self._constraints: list[Constraint] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float | None = None,
+        integer: bool = False,
+    ) -> Variable:
+        """Declare a decision variable."""
+        if name in self._variables:
+            raise ValueError(f"variable {name!r} already declared")
+        variable = Variable(name=name, lower=lower, upper=upper, integer=integer)
+        self._variables[name] = variable
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        """Declare a 0/1 variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True)
+
+    def set_objective(self, coefficients: dict, maximize: bool | None = None) -> None:
+        """Set the (linear) objective; unknown variables raise KeyError."""
+        for name in coefficients:
+            if name not in self._variables:
+                raise KeyError(f"objective references unknown variable {name!r}")
+        self._objective = dict(coefficients)
+        if maximize is not None:
+            self.maximize = bool(maximize)
+
+    def add_constraint(
+        self, coefficients: dict, sense: str, rhs: float, name: str = ""
+    ) -> Constraint:
+        """Add a linear constraint."""
+        for var_name in coefficients:
+            if var_name not in self._variables:
+                raise KeyError(f"constraint references unknown variable {var_name!r}")
+        constraint = Constraint(
+            coefficients=dict(coefficients), sense=sense, rhs=float(rhs), name=name
+        )
+        self._constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> dict[str, Variable]:
+        """Declared variables, keyed by name."""
+        return dict(self._variables)
+
+    @property
+    def variable_names(self) -> list[str]:
+        """Variable names in declaration order."""
+        return list(self._variables)
+
+    @property
+    def objective(self) -> dict[str, float]:
+        """Objective coefficients, keyed by variable name."""
+        return dict(self._objective)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """All constraints added so far."""
+        return list(self._constraints)
+
+    @property
+    def integer_variables(self) -> list[str]:
+        """Names of variables declared integer."""
+        return [name for name, var in self._variables.items() if var.integer]
+
+    def is_pure_lp(self) -> bool:
+        """True when no variable is integer."""
+        return not self.integer_variables

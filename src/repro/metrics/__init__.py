@@ -1,0 +1,14 @@
+"""Metrics: SLO accounting, time-series collection and summary reports."""
+
+from repro.metrics.slo import SloPolicy
+from repro.metrics.collector import MetricsCollector, MinuteStats, ServedSample
+from repro.metrics.report import RunSummary, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "MinuteStats",
+    "RunSummary",
+    "ServedSample",
+    "SloPolicy",
+    "summarize",
+]

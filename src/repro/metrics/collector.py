@@ -1,0 +1,174 @@
+"""Time-series metrics collection for serving experiments."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.requests import CompletedRequest
+from repro.metrics.slo import SloPolicy
+
+
+@dataclass(frozen=True)
+class ServedSample:
+    """One served request annotated with its quality outcome."""
+
+    completed: CompletedRequest
+    pickscore: float
+    best_pickscore: float
+
+    @property
+    def relative_quality(self) -> float:
+        """PickScore relative to the best achievable for the prompt."""
+        if self.best_pickscore <= 0:
+            return 0.0
+        return self.pickscore / self.best_pickscore
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency of the request."""
+        return self.completed.latency_s
+
+
+@dataclass
+class MinuteStats:
+    """Aggregated statistics for one simulated minute."""
+
+    minute: int
+    offered_qpm: float = 0.0
+    arrivals: int = 0
+    completions: int = 0
+    slo_violations: int = 0
+    pickscores: list[float] = field(default_factory=list)
+    relative_qualities: list[float] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def served_qpm(self) -> float:
+        """Completions during this minute (the served throughput)."""
+        return float(self.completions)
+
+    @property
+    def violation_ratio(self) -> float:
+        """Fraction of completions this minute that violated the SLO."""
+        if self.completions == 0:
+            return 0.0
+        return self.slo_violations / self.completions
+
+    @property
+    def mean_pickscore(self) -> float:
+        """Mean PickScore of completions this minute (0 when none)."""
+        return float(np.mean(self.pickscores)) if self.pickscores else 0.0
+
+    @property
+    def mean_relative_quality(self) -> float:
+        """Mean relative quality of completions this minute (0 when none)."""
+        return float(np.mean(self.relative_qualities)) if self.relative_qualities else 0.0
+
+
+class MetricsCollector:
+    """Collects per-request samples and aggregates them per minute."""
+
+    def __init__(self, slo: SloPolicy | None = None) -> None:
+        self.slo = slo or SloPolicy()
+        self.samples: list[ServedSample] = []
+        self._minutes: dict[int, MinuteStats] = {}
+        self._arrivals_by_minute: dict[int, int] = defaultdict(int)
+        self.dropped_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_arrival(self, arrival_time_s: float) -> None:
+        """Record an offered request (whether or not it completes)."""
+        self._arrivals_by_minute[int(arrival_time_s // 60)] += 1
+
+    def record_drop(self) -> None:
+        """Record a request the system could not serve at all."""
+        self.dropped_requests += 1
+
+    def record_completion(
+        self, completed: CompletedRequest, pickscore: float, best_pickscore: float
+    ) -> ServedSample:
+        """Record a served request with its quality outcome."""
+        sample = ServedSample(completed=completed, pickscore=pickscore, best_pickscore=best_pickscore)
+        self.samples.append(sample)
+        minute = int(completed.completion_time_s // 60)
+        stats = self._minutes.setdefault(minute, MinuteStats(minute=minute))
+        stats.completions += 1
+        stats.pickscores.append(pickscore)
+        stats.relative_qualities.append(sample.relative_quality)
+        stats.latencies.append(sample.latency_s)
+        if self.slo.is_violation(sample.latency_s):
+            stats.slo_violations += 1
+        return sample
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def minute_series(self, offered: dict[int, float] | None = None) -> list[MinuteStats]:
+        """Per-minute statistics, sorted by minute.
+
+        Args:
+            offered: optional per-minute offered QPM to attach (e.g. from the
+                trace); arrivals recorded via :meth:`record_arrival` are used
+                when absent.
+        """
+        minutes = set(self._minutes) | set(self._arrivals_by_minute)
+        if offered:
+            minutes |= set(offered)
+        series = []
+        for minute in sorted(minutes):
+            stats = self._minutes.get(minute, MinuteStats(minute=minute))
+            stats.arrivals = self._arrivals_by_minute.get(minute, 0)
+            stats.offered_qpm = (
+                offered.get(minute, float(stats.arrivals)) if offered else float(stats.arrivals)
+            )
+            series.append(stats)
+        return series
+
+    # ------------------------------------------------------------------ #
+    # Scalar summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_completions(self) -> int:
+        """Total requests served."""
+        return len(self.samples)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Total requests offered."""
+        return sum(self._arrivals_by_minute.values())
+
+    def slo_violation_ratio(self) -> float:
+        """Fraction of served requests violating the latency SLO."""
+        if not self.samples:
+            return 0.0
+        return self.slo.violation_ratio([s.latency_s for s in self.samples])
+
+    def effective_accuracy(self) -> float:
+        """Mean PickScore over requests completed within the SLO (§5.1)."""
+        within = [s.pickscore for s in self.samples if not self.slo.is_violation(s.latency_s)]
+        return float(np.mean(within)) if within else 0.0
+
+    def mean_pickscore(self) -> float:
+        """Mean PickScore over all served requests."""
+        return float(np.mean([s.pickscore for s in self.samples])) if self.samples else 0.0
+
+    def mean_relative_quality(self) -> float:
+        """Mean relative quality over all served requests."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.relative_quality for s in self.samples]))
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile in seconds over served requests."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile([s.latency_s for s in self.samples], percentile))
+
+    def relative_qualities(self) -> list[float]:
+        """Per-request relative qualities (input to the user-study simulator)."""
+        return [s.relative_quality for s in self.samples]

@@ -1,0 +1,77 @@
+"""Run summaries: the scalar rows reported in the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Scalar summary of one serving run (one system on one workload)."""
+
+    system: str
+    workload: str
+    total_arrivals: int
+    total_completions: int
+    dropped_requests: int
+    mean_served_qpm: float
+    slo_violation_ratio: float
+    effective_accuracy: float
+    mean_pickscore: float
+    mean_relative_quality: float
+    p50_latency_s: float
+    p99_latency_s: float
+    cluster_utilization: float
+    model_loads: int
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of offered requests served within the SLO."""
+        if self.total_arrivals == 0:
+            return 0.0
+        within_slo = self.total_completions * (1.0 - self.slo_violation_ratio)
+        return within_slo / self.total_arrivals
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flat dict convenient for printing benchmark tables."""
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "served_qpm": round(self.mean_served_qpm, 2),
+            "slo_violation_ratio": round(self.slo_violation_ratio, 4),
+            "effective_accuracy": round(self.effective_accuracy, 3),
+            "relative_quality": round(self.mean_relative_quality, 4),
+            "p99_latency_s": round(self.p99_latency_s, 2),
+            "utilization": round(self.cluster_utilization, 3),
+            "model_loads": self.model_loads,
+        }
+
+
+def summarize(
+    system: str,
+    workload: str,
+    collector: MetricsCollector,
+    duration_minutes: float,
+    cluster_utilization: float = 0.0,
+    model_loads: int = 0,
+) -> RunSummary:
+    """Build a :class:`RunSummary` from a collector."""
+    duration_minutes = max(duration_minutes, 1e-9)
+    return RunSummary(
+        system=system,
+        workload=workload,
+        total_arrivals=collector.total_arrivals,
+        total_completions=collector.total_completions,
+        dropped_requests=collector.dropped_requests,
+        mean_served_qpm=collector.total_completions / duration_minutes,
+        slo_violation_ratio=collector.slo_violation_ratio(),
+        effective_accuracy=collector.effective_accuracy(),
+        mean_pickscore=collector.mean_pickscore(),
+        mean_relative_quality=collector.mean_relative_quality(),
+        p50_latency_s=collector.latency_percentile(50),
+        p99_latency_s=collector.latency_percentile(99),
+        cluster_utilization=cluster_utilization,
+        model_loads=model_loads,
+    )

@@ -1,0 +1,42 @@
+"""Latency SLO policy.
+
+The paper defines the latency SLO as 3x the inference latency of the largest
+model (SD-XL), following Proteus.  A request violates the SLO when its
+end-to-end latency (queueing + service) exceeds that budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.variants import SM_VARIANTS
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Latency service-level objective."""
+
+    #: Multiplier over the largest model's single-image latency.
+    multiplier: float = 3.0
+    #: Latency of the largest model (seconds); defaults to SD-XL on A100.
+    base_latency_s: float = SM_VARIANTS[0].latency_a100_s
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 0 or self.base_latency_s <= 0:
+            raise ValueError("multiplier and base latency must be positive")
+
+    @property
+    def budget_s(self) -> float:
+        """Maximum acceptable end-to-end latency in seconds."""
+        return self.multiplier * self.base_latency_s
+
+    def is_violation(self, latency_s: float) -> bool:
+        """Whether a request's latency violates the SLO."""
+        return latency_s > self.budget_s
+
+    def violation_ratio(self, latencies_s: list[float]) -> float:
+        """Fraction of requests whose latency violates the SLO."""
+        if not latencies_s:
+            return 0.0
+        violations = sum(1 for latency in latencies_s if self.is_violation(latency))
+        return violations / len(latencies_s)

@@ -1,0 +1,49 @@
+"""Model zoo and performance models for diffusion-based T2I variants.
+
+This package holds the static knowledge Argus needs about the models it can
+serve: which variants exist, how large they are, how long they take on each
+GPU, how their internal components break down into FLOPs (Table 3 of the
+paper), how badly they batch (Fig. 14), and where they sit on a roofline plot
+(Fig. 15).
+"""
+
+from repro.models.batching import BatchingModel, batching_speedup_curve
+from repro.models.components import (
+    ComponentProfile,
+    MODEL_COMPONENT_PROFILES,
+    arithmetic_intensity,
+    component_profiles_for,
+)
+from repro.models.gpus import GPU_SPECS, GpuSpec
+from repro.models.latency import LatencyModel
+from repro.models.roofline import RooflineModel, RooflinePoint
+from repro.models.variants import (
+    AC_LEVELS,
+    AcLevel,
+    ModelVariant,
+    SM_VARIANTS,
+    ac_level_by_skip,
+    variant_by_name,
+)
+from repro.models.zoo import ModelZoo
+
+__all__ = [
+    "AC_LEVELS",
+    "AcLevel",
+    "BatchingModel",
+    "ComponentProfile",
+    "GPU_SPECS",
+    "GpuSpec",
+    "LatencyModel",
+    "MODEL_COMPONENT_PROFILES",
+    "ModelVariant",
+    "ModelZoo",
+    "RooflineModel",
+    "RooflinePoint",
+    "SM_VARIANTS",
+    "ac_level_by_skip",
+    "arithmetic_intensity",
+    "batching_speedup_curve",
+    "component_profiles_for",
+    "variant_by_name",
+]

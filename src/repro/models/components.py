@@ -1,0 +1,79 @@
+"""Per-component FLOP and arithmetic-intensity profiles (Table 3).
+
+The paper breaks each diffusion model into a text encoder, a UNet (invoked
+once per denoising step) and a VAE decoder, and reports parameters, size,
+FLOPs and arithmetic intensity for each.  These numbers feed the roofline
+model (Fig. 15) and the compute-bound argument behind the no-batching design
+decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentProfile:
+    """Performance profile of one component of a diffusion model."""
+
+    model: str
+    component: str
+    parameters_billion: float
+    size_gib: float
+    flops_billion: float
+    arithmetic_intensity: float
+    #: How many times the component runs per generated image.
+    invocations_per_image: int = 1
+
+    @property
+    def total_flops_billion(self) -> float:
+        """FLOPs contributed per image across all invocations."""
+        return self.flops_billion * self.invocations_per_image
+
+    @property
+    def bytes_moved(self) -> float:
+        """Approximate bytes of memory traffic per invocation."""
+        if self.arithmetic_intensity <= 0:
+            return 0.0
+        return self.flops_billion * 1e9 / self.arithmetic_intensity
+
+
+#: Table 3 of the paper, verbatim (UNet runs once per denoising step).
+MODEL_COMPONENT_PROFILES: tuple[ComponentProfile, ...] = (
+    ComponentProfile("Tiny-SD", "text_encoder", 0.123, 0.229, 7.208, 29.287),
+    ComponentProfile("Tiny-SD", "unet", 0.323, 0.602, 409.334, 632.890, invocations_per_image=50),
+    ComponentProfile("Tiny-SD", "vae_decoder", 0.050, 0.092, 2481.078, 25066.363),
+    ComponentProfile("Small-SD", "text_encoder", 0.123, 0.229, 7.208, 29.287),
+    ComponentProfile("Small-SD", "unet", 0.579, 1.079, 446.639, 385.442, invocations_per_image=50),
+    ComponentProfile("Small-SD", "vae_decoder", 0.050, 0.092, 2481.078, 25066.363),
+    ComponentProfile("SD-2.0", "text_encoder", 0.340, 0.634, 24.482, 35.962),
+    ComponentProfile("SD-2.0", "unet", 0.866, 1.613, 676.668, 390.726, invocations_per_image=50),
+    ComponentProfile("SD-2.0", "vae_decoder", 0.050, 0.092, 2481.078, 25066.363),
+    ComponentProfile("SD-XL", "text_encoder", 0.123, 0.229, 7.208, 29.287),
+    ComponentProfile("SD-XL", "unet", 2.567, 4.782, 11958.197, 2328.796, invocations_per_image=50),
+    ComponentProfile("SD-XL", "vae_decoder", 0.050, 0.092, 2481.078, 25066.363),
+)
+
+
+def component_profiles_for(model: str) -> list[ComponentProfile]:
+    """Return all component profiles for ``model`` (case-insensitive)."""
+    matches = [p for p in MODEL_COMPONENT_PROFILES if p.model.lower() == model.lower()]
+    if not matches:
+        known = sorted({p.model for p in MODEL_COMPONENT_PROFILES})
+        raise KeyError(f"no component profile for model {model!r}; known: {known}")
+    return matches
+
+
+def arithmetic_intensity(model: str) -> float:
+    """FLOP-weighted arithmetic intensity of a full image generation."""
+    profiles = component_profiles_for(model)
+    total_flops = sum(p.total_flops_billion for p in profiles)
+    total_bytes = sum(p.bytes_moved * p.invocations_per_image for p in profiles) / 1e9
+    if total_bytes == 0:
+        return 0.0
+    return total_flops / total_bytes
+
+
+def total_flops_per_image(model: str) -> float:
+    """Total billions of FLOPs required to generate one image."""
+    return sum(p.total_flops_billion for p in component_profiles_for(model))

@@ -1,0 +1,59 @@
+"""GPU hardware specifications used by the latency and roofline models.
+
+Peak numbers are the published FP16 tensor throughput and HBM bandwidth for
+the three GPU generations the paper profiles (Fig. 5): V100, A10G and A100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU model."""
+
+    name: str
+    memory_gib: float
+    peak_fp16_tflops: float
+    hbm_bandwidth_gbps: float
+    #: Relative speed factor used by the latency model; A100 is the reference.
+    relative_speed: float
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/byte) at which compute becomes the limit."""
+        return (self.peak_fp16_tflops * 1e12) / (self.hbm_bandwidth_gbps * 1e9)
+
+
+GPU_SPECS: dict[str, GpuSpec] = {
+    "A100": GpuSpec(
+        name="A100",
+        memory_gib=80.0,
+        peak_fp16_tflops=312.0,
+        hbm_bandwidth_gbps=2039.0,
+        relative_speed=1.0,
+    ),
+    "A10G": GpuSpec(
+        name="A10G",
+        memory_gib=24.0,
+        peak_fp16_tflops=125.0,
+        hbm_bandwidth_gbps=600.0,
+        relative_speed=0.42,
+    ),
+    "V100": GpuSpec(
+        name="V100",
+        memory_gib=32.0,
+        peak_fp16_tflops=112.0,
+        hbm_bandwidth_gbps=900.0,
+        relative_speed=0.38,
+    ),
+}
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    key = name.upper()
+    if key not in GPU_SPECS:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_SPECS)}")
+    return GPU_SPECS[key]

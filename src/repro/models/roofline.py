@@ -1,0 +1,80 @@
+"""Roofline model (Fig. 15): places DMs and non-DM models on a roofline plot.
+
+A model is compute-bound when its arithmetic intensity exceeds the GPU's
+ridge point (peak FLOPs / memory bandwidth); otherwise it is memory-bound.
+The paper uses this to argue that diffusion models cannot benefit from
+batching the way memory-bound models do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.components import arithmetic_intensity
+from repro.models.gpus import GpuSpec, gpu_by_name
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A single model placed on the roofline plot."""
+
+    name: str
+    arithmetic_intensity: float
+    attainable_tflops: float
+    compute_bound: bool
+
+
+#: Arithmetic intensities (FLOP/byte) for the non-diffusion reference models
+#: in Fig. 15.  These sit left of the A100 ridge point (memory-bound) except
+#: GPT-8B prefill which is borderline.
+NON_DM_INTENSITIES: dict[str, float] = {
+    "YOLOv5n": 28.0,
+    "ResNet50": 55.0,
+    "EfficientNet-b4": 42.0,
+    "GPT-8B": 130.0,
+}
+
+
+class RooflineModel:
+    """Computes attainable performance and boundedness for models on a GPU."""
+
+    def __init__(self, gpu: str | GpuSpec = "A100") -> None:
+        self.gpu = gpu if isinstance(gpu, GpuSpec) else gpu_by_name(gpu)
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity at which the GPU transitions to compute-bound."""
+        return self.gpu.ridge_point
+
+    def attainable_tflops(self, intensity: float) -> float:
+        """Attainable TFLOP/s at ``intensity`` under the roofline model."""
+        if intensity < 0:
+            raise ValueError("arithmetic intensity must be non-negative")
+        bandwidth_limited = intensity * self.gpu.hbm_bandwidth_gbps * 1e9 / 1e12
+        return min(self.gpu.peak_fp16_tflops, bandwidth_limited)
+
+    def is_compute_bound(self, intensity: float) -> bool:
+        """Whether a kernel of the given intensity is compute-bound."""
+        return intensity >= self.ridge_point
+
+    def place(self, name: str, intensity: float) -> RooflinePoint:
+        """Place a named model on the roofline."""
+        return RooflinePoint(
+            name=name,
+            arithmetic_intensity=intensity,
+            attainable_tflops=self.attainable_tflops(intensity),
+            compute_bound=self.is_compute_bound(intensity),
+        )
+
+    def place_diffusion_model(self, model: str) -> RooflinePoint:
+        """Place a diffusion model using its UNet-dominated intensity."""
+        return self.place(model, arithmetic_intensity(model))
+
+    def full_plot(self) -> list[RooflinePoint]:
+        """All points of Fig. 15: diffusion models plus reference models."""
+        points = [
+            self.place_diffusion_model(model)
+            for model in ("Tiny-SD", "Small-SD", "SD-2.0", "SD-XL")
+        ]
+        points.extend(self.place(name, ai) for name, ai in NON_DM_INTENSITIES.items())
+        return points

@@ -1,0 +1,22 @@
+"""Synthetic prompt substrate standing in for DiffusionDB.
+
+The paper analyses 10k real prompts from DiffusionDB; that dataset is not
+available offline, so :mod:`repro.prompts.generator` synthesises prompts with
+a controllable structure (number of entities, modifiers, style tags).  The
+structure determines a latent *complexity* which the quality model turns into
+an approximation tolerance, making per-prompt optimal levels a learnable
+function of the prompt text — exactly the property the classifier relies on.
+"""
+
+from repro.prompts.dataset import PromptDataset
+from repro.prompts.embedding import PromptEmbedder
+from repro.prompts.features import PromptFeaturizer
+from repro.prompts.generator import Prompt, PromptGenerator
+
+__all__ = [
+    "Prompt",
+    "PromptDataset",
+    "PromptEmbedder",
+    "PromptFeaturizer",
+    "PromptGenerator",
+]

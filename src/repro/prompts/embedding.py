@@ -1,0 +1,80 @@
+"""Deterministic prompt embeddings.
+
+The real system embeds prompts with CLIP's text encoder and uses the vectors
+for approximate-cache similarity search.  Here we build a hashed
+bag-of-words embedding with a topic component so that prompts from the same
+topic cluster land close together — that locality is what gives approximate
+caching useful hit rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prompts.generator import Prompt
+from repro.simulation.randomness import stable_hash
+
+
+class PromptEmbedder:
+    """Maps prompts to unit-norm float vectors."""
+
+    def __init__(self, dim: int = 64, topic_weight: float = 0.65) -> None:
+        if dim < 8:
+            raise ValueError("embedding dimension must be at least 8")
+        self.dim = int(dim)
+        self.topic_weight = float(topic_weight)
+        # Embeddings are deterministic per prompt; memoise them because the
+        # cache path embeds the same prompt on every retrieval and write-back.
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+        self._topic_cache: dict[int, np.ndarray] = {}
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Embed raw text (hashed bag-of-words, unit norm)."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        tokens = [t.strip(",.") for t in text.lower().split() if t.strip(",.")]
+        for token in tokens:
+            index = stable_hash("tok:" + token) % self.dim
+            sign = 1.0 if stable_hash("sign:" + token) % 2 == 0 else -1.0
+            vector[index] += sign
+        return self._normalize(vector)
+
+    def embed(self, prompt: Prompt) -> np.ndarray:
+        """Embed a structured prompt, mixing token and topic components."""
+        key = (stable_hash(prompt.text), prompt.topic)
+        if key in self._cache:
+            return self._cache[key]
+        token_vec = self.embed_text(prompt.text)
+        topic_vec = self._topic_vector(prompt.topic)
+        mixed = (1.0 - self.topic_weight) * token_vec + self.topic_weight * topic_vec
+        embedded = self._normalize(mixed)
+        self._cache[key] = embedded
+        return embedded
+
+    def embed_batch(self, prompts: list[Prompt]) -> np.ndarray:
+        """Embed a list of prompts into an (n, dim) matrix."""
+        if not prompts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(p) for p in prompts])
+
+    def _topic_vector(self, topic: int) -> np.ndarray:
+        if topic not in self._topic_cache:
+            rng = np.random.default_rng(stable_hash(f"topic-embed-{topic}") % (1 << 32))
+            self._topic_cache[topic] = self._normalize(rng.normal(size=self.dim))
+        return self._topic_cache[topic]
+
+    @staticmethod
+    def _normalize(vector: np.ndarray) -> np.ndarray:
+        norm = np.linalg.norm(vector)
+        if norm == 0:
+            unit = np.zeros_like(vector)
+            unit[0] = 1.0
+            return unit
+        return vector / norm
+
+    @staticmethod
+    def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity between two vectors."""
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(np.dot(a, b) / denom)

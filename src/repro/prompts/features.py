@@ -1,0 +1,108 @@
+"""Feature extraction for the approximation-level classifier.
+
+The production classifier is BERT-based; ours is a linear model over a small
+set of interpretable structural features plus a hashed bag-of-words block.
+The structural features carry the learnable signal (they correlate with the
+latent complexity the generator injected); the hashed block adds realistic
+sparsity and lets property tests exercise larger feature spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prompts.generator import Prompt
+from repro.simulation.randomness import stable_hash
+
+
+class PromptFeaturizer:
+    """Turns prompts into fixed-width dense feature vectors."""
+
+    #: Names of the structural features, in order.
+    STRUCTURAL_FEATURES = (
+        "num_tokens",
+        "num_commas",
+        "num_and",
+        "num_entities_hint",
+        "num_adjectives_hint",
+        "has_action_hint",
+        "has_scene_hint",
+        "num_style_tags_hint",
+    )
+
+    def __init__(self, hashed_dim: int = 48) -> None:
+        if hashed_dim < 0:
+            raise ValueError("hashed_dim must be non-negative")
+        self.hashed_dim = int(hashed_dim)
+
+    @property
+    def dim(self) -> int:
+        """Total feature dimensionality."""
+        return len(self.STRUCTURAL_FEATURES) + self.hashed_dim
+
+    # ------------------------------------------------------------------ #
+    # Featurisation
+    # ------------------------------------------------------------------ #
+    def featurize(self, prompt: Prompt | str) -> np.ndarray:
+        """Feature vector for a single prompt (or raw text)."""
+        text = prompt.text if isinstance(prompt, Prompt) else str(prompt)
+        structural = self._structural_features(text)
+        if self.hashed_dim == 0:
+            return structural
+        hashed = self._hashed_features(text)
+        return np.concatenate([structural, hashed])
+
+    def featurize_batch(self, prompts: list[Prompt | str]) -> np.ndarray:
+        """Feature matrix of shape (n, dim)."""
+        if not prompts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.featurize(p) for p in prompts])
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _structural_features(self, text: str) -> np.ndarray:
+        tokens = [t.strip(",.").lower() for t in text.split() if t.strip(",.")]
+        num_tokens = len(tokens)
+        num_commas = text.count(",")
+        num_and = sum(1 for t in tokens if t == "and")
+        num_articles = sum(1 for t in tokens if t in ("a", "an", "the"))
+        adjectives = sum(
+            1
+            for t in tokens
+            if t in ("red", "blue", "golden", "ancient", "futuristic", "tiny", "giant",
+                     "glowing", "rusty", "crystal", "wooden", "marble", "neon", "misty",
+                     "snowy", "sunlit", "happy", "old", "young", "ornate", "minimalist")
+        )
+        action_words = ("lying", "walking", "standing", "flying", "reading", "playing",
+                        "looking", "riding", "sailing", "climbing", "sitting", "dancing")
+        scene_words = ("forest", "beach", "library", "sky", "alley", "peak", "field",
+                       "waterfall", "factory", "cliff", "marketplace", "moon")
+        style_words = ("painting", "watercolor", "art", "photorealistic", "photography",
+                       "engine", "film", "anime", "baroque", "isometric", "sketch",
+                       "detailed", "8k", "4k", "artstation", "cinematic", "masterpiece")
+        features = np.array(
+            [
+                num_tokens / 20.0,
+                num_commas / 4.0,
+                float(num_and),
+                float(num_articles),
+                adjectives / 3.0,
+                float(any(t in action_words for t in tokens)),
+                float(any(t in scene_words for t in tokens)),
+                sum(1 for t in tokens if t in style_words) / 3.0,
+            ],
+            dtype=np.float64,
+        )
+        return features
+
+    def _hashed_features(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.hashed_dim, dtype=np.float64)
+        tokens = [t.strip(",.").lower() for t in text.split() if t.strip(",.")]
+        for token in tokens:
+            index = stable_hash("feat:" + token) % self.hashed_dim
+            vector[index] += 1.0
+        max_val = vector.max()
+        if max_val > 0:
+            vector /= max_val
+        return vector

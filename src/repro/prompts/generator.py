@@ -1,0 +1,175 @@
+"""Synthetic text-to-image prompt generator.
+
+Prompts are assembled from a fixed vocabulary of subjects, attributes,
+actions, scenes and style tags.  The number of distinct visual concepts in a
+prompt (entities, spatial relations, fine attributes) drives its *complexity*
+score; complex prompts tolerate less approximation, which is how the quality
+model later reproduces the paper's Observation 1 and Fig. 8 distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.randomness import stable_hash
+
+SUBJECTS = (
+    "apple", "banana", "bear", "cat", "dog", "guitar", "vase", "book",
+    "mountain", "castle", "robot", "dragon", "astronaut", "city", "forest",
+    "lake", "car", "bicycle", "bridge", "lighthouse", "owl", "horse",
+    "sailboat", "temple", "garden", "waterfall", "man", "woman", "child",
+    "wizard", "knight", "samurai", "fox", "whale", "tiger",
+)
+
+ATTRIBUTES = (
+    "red", "blue", "golden", "ancient", "futuristic", "tiny", "giant",
+    "glowing", "rusty", "crystal", "wooden", "marble", "neon", "misty",
+    "snowy", "sunlit", "happy", "old", "young", "ornate", "minimalist",
+)
+
+ACTIONS = (
+    "lying on a table", "walking with a dog", "standing in the rain",
+    "flying over the city", "reading a book", "playing chess",
+    "looking at the stars", "riding a horse", "sailing across the ocean",
+    "climbing a mountain", "sitting by the fire", "dancing in the street",
+)
+
+SCENES = (
+    "in a dense forest", "on a quiet beach", "inside a grand library",
+    "under a starry sky", "in a cyberpunk alley", "on a snowy mountain peak",
+    "in a sunflower field", "beside a waterfall", "in an abandoned factory",
+    "at the edge of a cliff", "in a medieval marketplace", "on the moon",
+)
+
+STYLES = (
+    "oil painting", "watercolor", "digital art", "photorealistic",
+    "studio photography", "unreal engine", "concept art", "35mm film",
+    "anime style", "baroque style", "isometric render", "pencil sketch",
+)
+
+QUALITY_TAGS = (
+    "highly detailed", "8k", "4k", "trending on artstation", "sharp focus",
+    "cinematic lighting", "intricate", "award winning", "masterpiece",
+)
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """A single synthetic T2I prompt with its latent structure."""
+
+    prompt_id: int
+    text: str
+    num_entities: int
+    num_attributes: int
+    num_style_tags: int
+    has_action: bool
+    has_scene: bool
+    #: Latent visual complexity in [0, 1]; higher means harder to approximate.
+    complexity: float
+    #: Topic cluster the prompt was drawn from (drives cache similarity).
+    topic: int = 0
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def num_tokens(self) -> int:
+        """Whitespace token count of the prompt text."""
+        return len(self.text.split())
+
+    def content_hash(self) -> int:
+        """Stable hash of the prompt text."""
+        return stable_hash(self.text)
+
+
+class PromptGenerator:
+    """Draws synthetic prompts with a controllable complexity distribution."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_topics: int = 24,
+        complexity_bias: float = 0.0,
+    ) -> None:
+        """Args:
+            seed: RNG seed; the same seed reproduces the same prompt stream.
+            num_topics: number of topic clusters (controls cache hit locality).
+            complexity_bias: shifts the complexity distribution; positive
+                values produce harder prompt mixes (used for drift tests).
+        """
+        self._rng = np.random.default_rng(seed)
+        self.num_topics = int(num_topics)
+        self.complexity_bias = float(complexity_bias)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, count: int) -> list[Prompt]:
+        """Generate ``count`` prompts."""
+        return [self.generate_one() for _ in range(count)]
+
+    def generate_one(self) -> Prompt:
+        """Generate a single prompt."""
+        rng = self._rng
+        topic = int(rng.integers(0, self.num_topics))
+        topic_rng = np.random.default_rng(stable_hash(f"topic-{topic}") % (1 << 32))
+        subject_pool = topic_rng.choice(len(SUBJECTS), size=6, replace=False)
+
+        num_entities = int(rng.choice([1, 2, 3], p=[0.45, 0.35, 0.20]))
+        num_attributes = int(rng.integers(0, 3))
+        has_action = bool(rng.random() < 0.45)
+        has_scene = bool(rng.random() < 0.55)
+        num_style_tags = int(rng.integers(0, 4))
+
+        parts: list[str] = []
+        entity_phrases = []
+        for _ in range(num_entities):
+            subject = SUBJECTS[int(rng.choice(subject_pool))]
+            attrs = rng.choice(ATTRIBUTES, size=min(num_attributes, 2), replace=False)
+            phrase = " ".join(list(attrs) + [subject]) if num_attributes else subject
+            entity_phrases.append(f"a {phrase}")
+        parts.append(" and ".join(entity_phrases))
+        if has_action:
+            parts.append(str(rng.choice(ACTIONS)))
+        if has_scene:
+            parts.append(str(rng.choice(SCENES)))
+        style_tags = list(rng.choice(STYLES, size=1)) if num_style_tags else []
+        style_tags += list(rng.choice(QUALITY_TAGS, size=max(0, num_style_tags - 1), replace=False))
+        text = ", ".join([" ".join(parts)] + style_tags)
+
+        complexity = self._complexity(
+            num_entities, num_attributes, num_style_tags, has_action, has_scene
+        )
+        prompt = Prompt(
+            prompt_id=self._counter,
+            text=text,
+            num_entities=num_entities,
+            num_attributes=num_attributes,
+            num_style_tags=num_style_tags,
+            has_action=has_action,
+            has_scene=has_scene,
+            complexity=complexity,
+            topic=topic,
+        )
+        self._counter += 1
+        return prompt
+
+    def _complexity(
+        self,
+        num_entities: int,
+        num_attributes: int,
+        num_style_tags: int,
+        has_action: bool,
+        has_scene: bool,
+    ) -> float:
+        """Latent complexity in [0, 1] from the prompt structure plus noise."""
+        raw = (
+            0.30 * (num_entities - 1)
+            + 0.09 * num_attributes
+            + 0.15 * has_action
+            + 0.10 * has_scene
+            + 0.04 * num_style_tags
+        )
+        noise = self._rng.normal(0.0, 0.05)
+        return float(np.clip(raw + noise + 0.05 + self.complexity_bias, 0.0, 1.0))

@@ -1,0 +1,28 @@
+"""Quality substrate: the PickScore simulator and everything built on it.
+
+The paper measures image quality with PickScore.  Without real image
+generation we model PickScore(prompt, approximation level) directly: each
+prompt carries a latent approximation *tolerance* derived from its
+complexity; quality is flat up to the tolerance and degrades super-linearly
+beyond it.  The model is calibrated so the aggregate numbers the paper
+reports (optimal-vs-random gaps, ODA redistribution gains, Pareto frontier
+shape) are reproduced.
+"""
+
+from repro.quality.degradation import DegradationProfile, profile_degradation
+from repro.quality.optimal import OPTIMALITY_THRESHOLD, OptimalModelSelector
+from repro.quality.pickscore import PickScoreModel
+from repro.quality.profiles import LevelQualityProfile, QualityProfiler, pareto_frontier
+from repro.quality.user_study import UserStudySimulator
+
+__all__ = [
+    "DegradationProfile",
+    "LevelQualityProfile",
+    "OPTIMALITY_THRESHOLD",
+    "OptimalModelSelector",
+    "PickScoreModel",
+    "QualityProfiler",
+    "UserStudySimulator",
+    "pareto_frontier",
+    "profile_degradation",
+]

@@ -1,0 +1,108 @@
+"""Empirical degradation profiling: the d(l', l) input to ODA (Eq. 2).
+
+Argus does not assume a closed-form degradation model; it profiles, for each
+pair of approximation levels (target l', affinity l), the expected PickScore
+loss when a prompt whose optimal level is ``l`` is instead served at ``l'``.
+ODA consumes this matrix when deciding where to shift excess load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.zoo import Strategy
+from repro.prompts.generator import Prompt
+from repro.quality.optimal import OptimalModelSelector
+from repro.quality.pickscore import PickScoreModel
+
+
+@dataclass(frozen=True)
+class DegradationProfile:
+    """Expected quality loss for shifting prompts between levels.
+
+    ``matrix[l_prime, l]`` is the mean PickScore drop (non-negative) when a
+    prompt with affinity for level ``l`` is served at level ``l_prime``.
+    Shifting to a slower / less approximate level (``l_prime < l``) never
+    degrades quality, so those entries are zero.
+    """
+
+    strategy: Strategy
+    matrix: np.ndarray
+    num_prompts: int
+
+    @property
+    def num_levels(self) -> int:
+        """Number of approximation levels covered by the profile."""
+        return self.matrix.shape[0]
+
+    def loss(self, target_rank: int, affinity_rank: int) -> float:
+        """Expected PickScore loss of serving affinity ``affinity_rank`` at
+        ``target_rank``."""
+        return float(self.matrix[target_rank, affinity_rank])
+
+    def is_superlinear(self) -> bool:
+        """Check the paper's premise: loss grows super-linearly with the gap.
+
+        The loss of the first out-of-tolerance step includes the fixed drop
+        below the optimal-quality band, so convexity is checked from gap >= 1
+        onwards: increments between successive gaps must not shrink.
+        """
+        for affinity in range(self.num_levels):
+            losses = [self.matrix[t, affinity] for t in range(affinity + 1, self.num_levels)]
+            increments = np.diff(losses)
+            if len(increments) >= 2 and np.any(np.diff(increments) < -1e-6):
+                return False
+            if len(losses) >= 2 and not np.all(np.diff(losses) >= -1e-9):
+                return False
+        return True
+
+
+def profile_degradation(
+    prompts: list[Prompt],
+    pickscore: PickScoreModel,
+    strategy: Strategy | str,
+    selector: OptimalModelSelector | None = None,
+) -> DegradationProfile:
+    """Profile the degradation matrix from a prompt sample.
+
+    Args:
+        prompts: prompt sample used for profiling (the paper uses 10k
+            DiffusionDB prompts).
+        pickscore: the quality model.
+        strategy: which approximation strategy to profile.
+        selector: optional pre-built optimal-model selector.
+
+    Returns:
+        A :class:`DegradationProfile` whose matrix rows are target levels and
+        columns are affinity levels.
+    """
+    strategy = Strategy(strategy)
+    selector = selector or OptimalModelSelector(pickscore)
+    num_levels = pickscore.num_levels
+    sums = np.zeros((num_levels, num_levels), dtype=np.float64)
+    counts = np.zeros(num_levels, dtype=np.float64)
+
+    for prompt in prompts:
+        choice = selector.optimal_choice(prompt, strategy)
+        affinity = choice.optimal_rank
+        counts[affinity] += 1
+        affinity_score = choice.scores[affinity]
+        for target in range(num_levels):
+            loss = max(0.0, affinity_score - choice.scores[target])
+            if target <= affinity:
+                loss = 0.0
+            sums[target, affinity] += loss
+
+    matrix = np.zeros_like(sums)
+    for affinity in range(num_levels):
+        if counts[affinity] > 0:
+            matrix[:, affinity] = sums[:, affinity] / counts[affinity]
+        else:
+            # No observed prompt with this affinity: fall back to a smooth
+            # super-linear default so ODA still has a usable penalty.
+            for target in range(num_levels):
+                gap = max(0, target - affinity)
+                matrix[target, affinity] = 1.6 * gap ** 1.35
+    return DegradationProfile(strategy=strategy, matrix=matrix, num_prompts=len(prompts))

@@ -1,0 +1,146 @@
+"""Per-level quality/throughput profiles and the Pareto frontier (Fig. 13).
+
+The solver (Eq. 1) needs, for every approximation level, a profiled average
+quality ``q_l`` and peak throughput.  This module computes those profiles
+from a prompt sample and also builds the 17-model quality-vs-throughput
+scatter the paper plots in Fig. 13 (models A-Q plus their AC variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.prompts.generator import Prompt
+from repro.quality.pickscore import PickScoreModel
+
+
+@dataclass(frozen=True)
+class LevelQualityProfile:
+    """Profiled quality and throughput for one approximation level."""
+
+    strategy: Strategy
+    rank: int
+    name: str
+    mean_pickscore: float
+    median_pickscore: float
+    latency_s: float
+    peak_throughput_qpm: float
+
+    @property
+    def pickscore_per_latency(self) -> float:
+        """Quality per second of inference, the efficiency metric in Fig. 9."""
+        if self.latency_s <= 0:
+            return 0.0
+        return self.mean_pickscore / self.latency_s
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A point on the Fig. 13 quality-throughput scatter."""
+
+    name: str
+    family: str
+    throughput_ipm: float
+    median_pickscore: float
+
+
+class QualityProfiler:
+    """Profiles average quality of each level over a prompt sample."""
+
+    def __init__(self, zoo: ModelZoo, pickscore: PickScoreModel) -> None:
+        self.zoo = zoo
+        self.pickscore = pickscore
+
+    def profile_level(
+        self, level: ApproximationLevel, prompts: list[Prompt]
+    ) -> LevelQualityProfile:
+        """Profile one approximation level on a prompt sample."""
+        scores = [self.pickscore.score(p, level.strategy, level.rank) for p in prompts]
+        scores_arr = np.array(scores) if scores else np.array([0.0])
+        return LevelQualityProfile(
+            strategy=level.strategy,
+            rank=level.rank,
+            name=level.name,
+            mean_pickscore=float(scores_arr.mean()),
+            median_pickscore=float(np.median(scores_arr)),
+            latency_s=level.latency_s,
+            peak_throughput_qpm=level.peak_throughput_qpm,
+        )
+
+    def profile_strategy(
+        self, strategy: Strategy | str, prompts: list[Prompt]
+    ) -> list[LevelQualityProfile]:
+        """Profiles for every level of a strategy, ordered by rank."""
+        return [self.profile_level(level, prompts) for level in self.zoo.levels(strategy)]
+
+    def quality_vector(self, strategy: Strategy | str, prompts: list[Prompt]) -> np.ndarray:
+        """The q_l vector the ILP solver maximises against (Eq. 1)."""
+        profiles = self.profile_strategy(strategy, prompts)
+        return np.array([p.mean_pickscore for p in profiles])
+
+    def throughput_vector(self, strategy: Strategy | str) -> np.ndarray:
+        """Peak per-worker throughput (QPM) of every level."""
+        return np.array([level.peak_throughput_qpm for level in self.zoo.levels(strategy)])
+
+    # ------------------------------------------------------------------ #
+    # Fig. 13: quality-throughput scatter and Pareto frontier
+    # ------------------------------------------------------------------ #
+    def pareto_scatter(self, prompts: list[Prompt]) -> list[ParetoPoint]:
+        """Quality-vs-throughput points for SM variants and AC levels.
+
+        SM variants are profiled with the SM quality model and labelled with
+        their model family; AC levels use the AC quality model (same SD-XL
+        base).  The paper additionally includes quantised variants; we model
+        those as slightly faster, slightly lower-quality copies of the SM
+        variants, matching how §4.2 treats them ("quantized variants ... are
+        also treated as valid approximation levels").
+        """
+        points: list[ParetoPoint] = []
+        for profile in self.profile_strategy(Strategy.SM, prompts):
+            points.append(
+                ParetoPoint(
+                    name=profile.name,
+                    family="SM",
+                    throughput_ipm=profile.peak_throughput_qpm,
+                    median_pickscore=profile.median_pickscore,
+                )
+            )
+            points.append(
+                ParetoPoint(
+                    name=f"{profile.name}-int8",
+                    family="quantized",
+                    throughput_ipm=profile.peak_throughput_qpm * 1.18,
+                    median_pickscore=profile.median_pickscore - 0.45,
+                )
+            )
+        for profile in self.profile_strategy(Strategy.AC, prompts):
+            points.append(
+                ParetoPoint(
+                    name=profile.name,
+                    family="AC",
+                    throughput_ipm=profile.peak_throughput_qpm,
+                    median_pickscore=profile.median_pickscore,
+                )
+            )
+        return points
+
+
+def pareto_frontier(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Subset of points not dominated in (throughput, quality)."""
+    frontier: list[ParetoPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.throughput_ipm >= candidate.throughput_ipm
+            and other.median_pickscore >= candidate.median_pickscore
+            and (
+                other.throughput_ipm > candidate.throughput_ipm
+                or other.median_pickscore > candidate.median_pickscore
+            )
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: p.throughput_ipm)

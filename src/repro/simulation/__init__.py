@@ -1,0 +1,19 @@
+"""Discrete-event simulation engine used by every Argus substrate.
+
+The engine is deliberately small: an event heap keyed by simulated time, a
+clock, and named deterministic random streams.  Higher-level substrates
+(cluster workers, the allocator loop, the network model) schedule callbacks
+on a shared :class:`SimulationEngine` instance.
+"""
+
+from repro.simulation.clock import Clock
+from repro.simulation.engine import Event, SimulationEngine
+from repro.simulation.randomness import RandomStreams, stable_hash
+
+__all__ = [
+    "Clock",
+    "Event",
+    "SimulationEngine",
+    "RandomStreams",
+    "stable_hash",
+]

@@ -1,0 +1,51 @@
+"""Simulated wall-clock used by the discrete-event engine."""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonically non-decreasing simulated time, in seconds.
+
+    The clock is advanced only by the simulation engine; user code reads it
+    through :meth:`now` (or the :attr:`time` property) and never sets it
+    directly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start at a negative time")
+        self._time = float(start)
+
+    @property
+    def time(self) -> float:
+        """Current simulated time in seconds."""
+        return self._time
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._time
+
+    def now_minutes(self) -> float:
+        """Return the current simulated time in minutes."""
+        return self._time / 60.0
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ValueError: if ``timestamp`` is earlier than the current time.
+        """
+        if timestamp < self._time:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp:.6f} < {self._time:.6f}"
+            )
+        self._time = float(timestamp)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, typically between independent simulation runs."""
+        if start < 0:
+            raise ValueError("clock cannot be reset to a negative time")
+        self._time = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(t={self._time:.3f}s)"

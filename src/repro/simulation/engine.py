@@ -1,0 +1,176 @@
+"""The discrete-event simulation core.
+
+The engine keeps a priority queue of :class:`Event` objects ordered by
+simulated time.  Running the engine repeatedly pops the earliest event,
+advances the clock to its timestamp and invokes its callback.  Callbacks may
+schedule further events.  Ties are broken by insertion order so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulation.clock import Clock
+from repro.simulation.randomness import RandomStreams
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so the heap yields them in
+    chronological order with stable tie-breaking.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[["SimulationEngine"], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Deterministic discrete-event simulation loop."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = Clock(start=start_time)
+        self.random = RandomStreams(seed=seed)
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._halted = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine"], None],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self.clock.time:
+            raise ValueError(
+                f"cannot schedule event in the past: {time:.6f} < {self.clock.time:.6f}"
+            )
+        event = Event(time=float(time), sequence=next(self._sequence), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine"], None],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.time + delay, callback, name=name)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[["SimulationEngine"], None],
+        name: str = "",
+        start_delay: float | None = None,
+    ) -> None:
+        """Schedule ``callback`` periodically until the simulation ends."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first_delay = interval if start_delay is None else start_delay
+
+        def tick(engine: "SimulationEngine") -> None:
+            callback(engine)
+            engine.schedule_in(interval, tick, name=name)
+
+        self.schedule_in(first_delay, tick, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def halt(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._halted = True
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback(self)
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or limits hit.
+
+        Args:
+            until: stop once the next event would be strictly after this time
+                (the clock is advanced to ``until`` if it was earlier).
+            max_events: safety bound on the number of events processed.
+
+        Returns:
+            The number of events processed by this call.
+        """
+        processed = 0
+        self._halted = False
+        while self._heap and not self._halted:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self._peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and until > self.clock.time:
+            self.clock.advance_to(until)
+        return processed
+
+    def _peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.time
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed
+
+    def rng(self, name: str) -> Any:
+        """Convenience accessor for a named random stream."""
+        return self.random.stream(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(t={self.clock.time:.2f}s, "
+            f"pending={self.pending_events}, processed={self._events_processed})"
+        )

@@ -1,0 +1,20 @@
+"""Workload substrate: QPM traces, arrival processes and request streams.
+
+The paper evaluates on a Twitter trace (diurnal with spikes), a proprietary
+SysX text-to-image trace (jittery, normalised to the Twitter range), a
+synthetic bursty Poisson workload and a linearly increasing stress workload.
+This package synthesises traces with those shapes and converts them into
+timestamped request arrivals.
+"""
+
+from repro.workloads.traces import WorkloadTrace, TraceLibrary
+from repro.workloads.arrival import ArrivalProcess
+from repro.workloads.replay import RequestStream, TimedPrompt
+
+__all__ = [
+    "ArrivalProcess",
+    "RequestStream",
+    "TimedPrompt",
+    "TraceLibrary",
+    "WorkloadTrace",
+]

@@ -1,0 +1,59 @@
+"""Arrival processes: convert a QPM trace into timestamped arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.traces import WorkloadTrace
+
+
+class ArrivalProcess:
+    """Generates per-request arrival timestamps from a workload trace."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def poisson_arrivals(self, trace: WorkloadTrace) -> list[float]:
+        """Non-homogeneous Poisson arrivals following the trace's QPM.
+
+        Within each minute the arrival rate is constant at ``qpm / 60``
+        requests per second; inter-arrival gaps are exponential.
+        """
+        rng = np.random.default_rng(self.seed)
+        arrivals: list[float] = []
+        for minute, qpm in enumerate(trace.qpm):
+            if qpm <= 0:
+                continue
+            rate_per_s = qpm / 60.0
+            t = minute * 60.0
+            end = (minute + 1) * 60.0
+            while True:
+                t += rng.exponential(1.0 / rate_per_s)
+                if t >= end:
+                    break
+                arrivals.append(float(t))
+        return arrivals
+
+    def uniform_arrivals(self, trace: WorkloadTrace) -> list[float]:
+        """Evenly spaced arrivals matching each minute's QPM exactly.
+
+        Deterministic; useful for tests where the exact request count
+        matters more than realistic burstiness.
+        """
+        arrivals: list[float] = []
+        for minute, qpm in enumerate(trace.qpm):
+            count = int(round(qpm))
+            if count <= 0:
+                continue
+            gap = 60.0 / count
+            start = minute * 60.0
+            arrivals.extend(start + gap * (i + 0.5) for i in range(count))
+        return arrivals
+
+    def arrivals(self, trace: WorkloadTrace, kind: str = "poisson") -> list[float]:
+        """Dispatch on arrival ``kind``: 'poisson' or 'uniform'."""
+        if kind == "poisson":
+            return self.poisson_arrivals(trace)
+        if kind == "uniform":
+            return self.uniform_arrivals(trace)
+        raise ValueError(f"unknown arrival kind {kind!r}")

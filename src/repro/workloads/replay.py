@@ -1,0 +1,74 @@
+"""Request streams: pair arrival timestamps with prompts in dataset order.
+
+The paper replays DiffusionDB prompts in their original arrival sequence on
+top of the trace's QPS pattern; :class:`RequestStream` does the same with
+the synthetic dataset, wrapping around when the trace needs more requests
+than the dataset holds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.prompts.dataset import PromptDataset
+from repro.prompts.generator import Prompt
+from repro.workloads.arrival import ArrivalProcess
+from repro.workloads.traces import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class TimedPrompt:
+    """A prompt with its arrival time."""
+
+    arrival_time_s: float
+    prompt: Prompt
+
+
+class RequestStream:
+    """An ordered stream of timed prompts built from a trace and a dataset."""
+
+    def __init__(
+        self,
+        trace: WorkloadTrace,
+        dataset: PromptDataset,
+        seed: int = 0,
+        arrival_kind: str = "poisson",
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("dataset must not be empty")
+        self.trace = trace
+        self.dataset = dataset
+        self.arrival_kind = arrival_kind
+        arrivals = ArrivalProcess(seed=seed).arrivals(trace, kind=arrival_kind)
+        self._timed: list[TimedPrompt] = [
+            TimedPrompt(arrival_time_s=t, prompt=dataset[i % len(dataset)])
+            for i, t in enumerate(arrivals)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._timed)
+
+    def __iter__(self) -> Iterator[TimedPrompt]:
+        return iter(self._timed)
+
+    def __getitem__(self, index: int) -> TimedPrompt:
+        return self._timed[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the stream in simulated seconds (trace duration)."""
+        return self.trace.duration_minutes * 60.0
+
+    @property
+    def arrivals(self) -> list[float]:
+        """All arrival timestamps, sorted."""
+        return [tp.arrival_time_s for tp in self._timed]
+
+    def offered_qpm(self, minute: int) -> float:
+        """Offered load during a given minute, from the underlying trace."""
+        return self.trace.qpm_at(minute)
+
+    def between(self, start_s: float, end_s: float) -> list[TimedPrompt]:
+        """Timed prompts arriving within [start_s, end_s)."""
+        return [tp for tp in self._timed if start_s <= tp.arrival_time_s < end_s]

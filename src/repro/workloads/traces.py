@@ -1,0 +1,181 @@
+"""Per-minute QPM traces shaped like the paper's evaluation workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A queries-per-minute time series."""
+
+    name: str
+    #: qpm[i] is the offered load during minute i.
+    qpm: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.qpm:
+            raise ValueError("trace must contain at least one minute")
+        if any(q < 0 for q in self.qpm):
+            raise ValueError("QPM values must be non-negative")
+
+    @property
+    def duration_minutes(self) -> int:
+        """Length of the trace in minutes."""
+        return len(self.qpm)
+
+    @property
+    def peak_qpm(self) -> float:
+        """Maximum offered load."""
+        return max(self.qpm)
+
+    @property
+    def mean_qpm(self) -> float:
+        """Average offered load."""
+        return float(np.mean(self.qpm))
+
+    @property
+    def total_queries(self) -> float:
+        """Expected number of queries over the whole trace."""
+        return float(np.sum(self.qpm))
+
+    def qpm_at(self, minute: float) -> float:
+        """Offered load at a (possibly fractional) minute index."""
+        index = int(np.clip(int(minute), 0, len(self.qpm) - 1))
+        return self.qpm[index]
+
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """Return a copy with every minute multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return WorkloadTrace(name=f"{self.name}-x{factor:g}", qpm=tuple(q * factor for q in self.qpm))
+
+    def normalized(self, min_qpm: float, max_qpm: float) -> "WorkloadTrace":
+        """Min-max normalise into [min_qpm, max_qpm] (the SysX anonymisation)."""
+        if max_qpm < min_qpm:
+            raise ValueError("max_qpm must be >= min_qpm")
+        values = np.asarray(self.qpm, dtype=np.float64)
+        lo, hi = values.min(), values.max()
+        if hi == lo:
+            scaled = np.full_like(values, (min_qpm + max_qpm) / 2.0)
+        else:
+            scaled = min_qpm + (values - lo) / (hi - lo) * (max_qpm - min_qpm)
+        return WorkloadTrace(name=f"{self.name}-norm", qpm=tuple(float(v) for v in scaled))
+
+    def window(self, start_minute: int, length_minutes: int) -> "WorkloadTrace":
+        """Contiguous slice of the trace."""
+        if start_minute < 0 or length_minutes <= 0:
+            raise ValueError("invalid window")
+        return WorkloadTrace(
+            name=f"{self.name}[{start_minute}:{start_minute + length_minutes}]",
+            qpm=self.qpm[start_minute : start_minute + length_minutes],
+        )
+
+
+class TraceLibrary:
+    """Factory for the evaluation traces used throughout the paper."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _rng(self, salt: str) -> np.random.Generator:
+        return np.random.default_rng((self.seed * 7_919 + hash(salt)) % (1 << 32))
+
+    # ------------------------------------------------------------------ #
+    # Real-trace lookalikes
+    # ------------------------------------------------------------------ #
+    def twitter_like(
+        self,
+        duration_minutes: int = 800,
+        base_qpm: float = 55.0,
+        peak_qpm: float = 160.0,
+    ) -> WorkloadTrace:
+        """Diurnal pattern with occasional spikes (the 2018 Twitter trace)."""
+        rng = self._rng("twitter")
+        minutes = np.arange(duration_minutes)
+        # One full diurnal cycle across the requested duration: trough at the
+        # start and end, peak in the middle, so any window is representative.
+        diurnal = 0.5 * (1.0 + np.sin(2.0 * np.pi * minutes / duration_minutes - np.pi / 2.0))
+        qpm = base_qpm + (peak_qpm - base_qpm) * diurnal
+        qpm *= 1.0 + rng.normal(0.0, 0.05, size=duration_minutes)
+        # A handful of unexpected spikes, as noted by prior serving work.
+        for _ in range(max(1, duration_minutes // 250)):
+            start = int(rng.integers(0, max(1, duration_minutes - 30)))
+            width = int(rng.integers(10, 30))
+            qpm[start : start + width] *= rng.uniform(1.15, 1.35)
+        return WorkloadTrace("twitter", tuple(float(max(1.0, q)) for q in qpm))
+
+    def sysx_like(
+        self,
+        duration_minutes: int = 800,
+        min_qpm: float = 45.0,
+        max_qpm: float = 160.0,
+    ) -> WorkloadTrace:
+        """Jittery production T2I trace, min-max normalised like the paper."""
+        rng = self._rng("sysx")
+        qpm = np.zeros(duration_minutes)
+        level = 0.5
+        for minute in range(duration_minutes):
+            level += rng.normal(0.0, 0.06)
+            level = float(np.clip(level, 0.05, 1.0))
+            if rng.random() < 0.02:
+                level = float(np.clip(level + rng.uniform(0.2, 0.5), 0.05, 1.0))
+            if rng.random() < 0.02:
+                level = float(np.clip(level - rng.uniform(0.2, 0.4), 0.05, 1.0))
+            qpm[minute] = level
+        trace = WorkloadTrace("sysx-raw", tuple(float(v) for v in qpm))
+        normalized = trace.normalized(min_qpm, max_qpm)
+        return WorkloadTrace("sysx", normalized.qpm)
+
+    # ------------------------------------------------------------------ #
+    # Synthetic patterns
+    # ------------------------------------------------------------------ #
+    def bursty(
+        self,
+        duration_minutes: int = 400,
+        low_qpm: float = 60.0,
+        high_qpm: float = 155.0,
+        mean_burst_minutes: float = 35.0,
+    ) -> WorkloadTrace:
+        """Interleaved low/high periods with exponentially distributed lengths."""
+        rng = self._rng("bursty")
+        qpm: list[float] = []
+        high = False
+        while len(qpm) < duration_minutes:
+            length = max(5, int(rng.exponential(mean_burst_minutes)))
+            level = high_qpm if high else low_qpm
+            noise = rng.normal(0.0, level * 0.04, size=length)
+            qpm.extend(float(max(1.0, level + n)) for n in noise)
+            high = not high
+        return WorkloadTrace("bursty", tuple(qpm[:duration_minutes]))
+
+    def increasing(
+        self,
+        duration_minutes: int = 800,
+        start_qpm: float = 40.0,
+        end_qpm: float = 240.0,
+    ) -> WorkloadTrace:
+        """Linearly increasing stress-test workload (Fig. 17)."""
+        rng = self._rng("increasing")
+        ramp = np.linspace(start_qpm, end_qpm, duration_minutes)
+        ramp *= 1.0 + rng.normal(0.0, 0.02, size=duration_minutes)
+        return WorkloadTrace("increasing", tuple(float(max(1.0, q)) for q in ramp))
+
+    def constant(self, duration_minutes: int = 60, qpm: float = 120.0) -> WorkloadTrace:
+        """Flat load, useful for unit tests and calibration."""
+        return WorkloadTrace("constant", tuple(float(qpm) for _ in range(duration_minutes)))
+
+    def by_name(self, name: str, **kwargs) -> WorkloadTrace:
+        """Build a trace by name ('twitter', 'sysx', 'bursty', 'increasing', 'constant')."""
+        builders = {
+            "twitter": self.twitter_like,
+            "sysx": self.sysx_like,
+            "bursty": self.bursty,
+            "increasing": self.increasing,
+            "constant": self.constant,
+        }
+        if name not in builders:
+            raise KeyError(f"unknown trace {name!r}; known: {sorted(builders)}")
+        return builders[name](**kwargs)

@@ -1,0 +1,161 @@
+"""Tests for the Optimised Distribution Aligner and the PASM (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.oda import OptimizedDistributionAligner, ShiftMap
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.quality.degradation import profile_degradation
+from repro.quality.optimal import OptimalModelSelector
+from repro.quality.pickscore import PickScoreModel
+
+
+@pytest.fixture(scope="module")
+def aligner():
+    return OptimizedDistributionAligner()
+
+
+class TestShiftMap:
+    def test_identity(self):
+        pasm = ShiftMap.identity(4)
+        assert pasm.num_levels == 4
+        for rank in range(4):
+            assert pasm.probability(rank, rank) == 1.0
+
+    def test_load_proportional_rows_equal_load(self):
+        load = np.array([0.5, 0.3, 0.2])
+        pasm = ShiftMap.load_proportional(load)
+        for rank in range(3):
+            np.testing.assert_allclose(pasm.matrix[rank], load)
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ShiftMap(matrix=np.array([[0.5, 0.2], [0.5, 0.5]]))
+
+    def test_negative_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftMap(matrix=np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_must_be_square(self):
+        with pytest.raises(ValueError):
+            ShiftMap(matrix=np.ones((2, 3)) / 3)
+
+    def test_sampling_follows_probabilities(self):
+        pasm = ShiftMap(matrix=np.array([[0.2, 0.8], [1.0, 0.0]]))
+        rng = np.random.default_rng(0)
+        draws = [pasm.sample_target(0, rng) for _ in range(2000)]
+        assert abs(np.mean(draws) - 0.8) < 0.05
+        assert all(pasm.sample_target(1, rng) == 0 for _ in range(20))
+
+    def test_resulting_distribution(self):
+        pasm = ShiftMap(matrix=np.array([[0.0, 1.0], [0.0, 1.0]]))
+        result = pasm.resulting_distribution(np.array([0.4, 0.6]))
+        np.testing.assert_allclose(result, [0.0, 1.0])
+
+
+class TestOdaAlignment:
+    def test_identity_when_distributions_match(self, aligner):
+        f = np.array([0.2, 0.3, 0.5])
+        pasm = aligner.align(f, f.copy())
+        np.testing.assert_allclose(pasm.matrix, np.eye(3), atol=1e-9)
+
+    def test_resulting_distribution_matches_load(self, aligner):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            f = rng.dirichlet(np.ones(6))
+            g = rng.dirichlet(np.ones(6))
+            pasm = aligner.align(f, g)
+            np.testing.assert_allclose(pasm.resulting_distribution(f), g, atol=1e-8)
+
+    def test_surplus_shifts_to_slower_levels_only(self, aligner):
+        # More prompts want the fast level than it can serve; the excess must
+        # go to slower levels (never faster), which costs no quality.
+        f = np.array([0.1, 0.1, 0.8])
+        g = np.array([0.5, 0.3, 0.2])
+        pasm = aligner.align(f, g)
+        # Affinity-2 prompts may only move to levels 0..2.
+        assert pasm.matrix[2, :3].sum() == pytest.approx(1.0)
+        # Affinity-0 prompts never move to faster levels here (their level
+        # has spare capacity).
+        assert pasm.probability(0, 0) == pytest.approx(1.0)
+
+    def test_deficit_pulled_from_nearest_slower_level(self, aligner):
+        # The fast level needs more prompts than have affinity for it; ODA
+        # pulls from the nearest slower level first (minimal gap).
+        f = np.array([0.5, 0.4, 0.1])
+        g = np.array([0.2, 0.2, 0.6])
+        pasm = aligner.align(f, g)
+        # Affinity-1 (nearest) must be pulled up before affinity-0.
+        assert pasm.probability(1, 2) > 0.0
+        moved_from_0 = pasm.probability(0, 2) * f[0]
+        moved_from_1 = pasm.probability(1, 2) * f[1]
+        assert moved_from_1 >= moved_from_0
+
+    def test_quality_degradation_not_worse_than_random(self, aligner):
+        prompts = PromptDataset.synthetic(count=800, seed=21).prompts
+        pickscore = PickScoreModel(seed=0)
+        selector = OptimalModelSelector(pickscore)
+        degradation = profile_degradation(prompts, pickscore, Strategy.AC, selector)
+        f = selector.affinity_distribution(prompts, Strategy.AC)
+        g = np.array([0.05, 0.05, 0.1, 0.2, 0.2, 0.4])
+        oda_map = aligner.align(f, g)
+        random_map = ShiftMap.load_proportional(g)
+        assert oda_map.expected_degradation(f, degradation) <= random_map.expected_degradation(
+            f, degradation
+        )
+
+    def test_fig10_quality_ordering(self, aligner):
+        """Ideal >= ODA-aligned >= random redistribution (Fig. 10)."""
+        prompts = PromptDataset.synthetic(count=800, seed=22).prompts
+        pickscore = PickScoreModel(seed=0)
+        selector = OptimalModelSelector(pickscore)
+        affinities = [selector.optimal_rank(p, Strategy.AC) for p in prompts]
+        f = selector.affinity_distribution(prompts, Strategy.AC)
+        g = np.array([0.05, 0.05, 0.1, 0.15, 0.25, 0.4])
+        oda_map = aligner.align(f, g)
+        random_map = ShiftMap.load_proportional(g)
+        rng = np.random.default_rng(0)
+
+        def mean_score(shift_map):
+            scores = []
+            for prompt, affinity in zip(prompts, affinities):
+                target = shift_map.sample_target(affinity, rng)
+                scores.append(pickscore.score(prompt, Strategy.AC, target))
+            return float(np.mean(scores))
+
+        ideal = float(
+            np.mean([pickscore.score(p, Strategy.AC, a) for p, a in zip(prompts, affinities)])
+        )
+        oda_quality = mean_score(oda_map)
+        random_quality = mean_score(random_map)
+        assert ideal >= oda_quality > random_quality
+
+    def test_mass_conservation(self, aligner):
+        f = np.array([0.3, 0.3, 0.4])
+        g = np.array([0.6, 0.2, 0.2])
+        pasm = aligner.align(f, g)
+        np.testing.assert_allclose(pasm.matrix.sum(axis=1), 1.0)
+
+    def test_unnormalised_inputs_are_normalised(self, aligner):
+        pasm = aligner.align(np.array([2.0, 2.0]), np.array([30.0, 10.0]))
+        np.testing.assert_allclose(
+            pasm.resulting_distribution(np.array([0.5, 0.5])), [0.75, 0.25], atol=1e-9
+        )
+
+    def test_invalid_inputs(self, aligner):
+        with pytest.raises(ValueError):
+            aligner.align(np.array([0.5, 0.5]), np.array([0.5, 0.25, 0.25]))
+        with pytest.raises(ValueError):
+            aligner.align(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            aligner.align(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+    def test_zero_affinity_level_gets_identity_row(self, aligner):
+        f = np.array([0.0, 0.6, 0.4])
+        g = np.array([0.2, 0.4, 0.4])
+        pasm = aligner.align(f, g)
+        np.testing.assert_allclose(pasm.resulting_distribution(f), g, atol=1e-9)
+        assert pasm.matrix[0].sum() == pytest.approx(1.0)

@@ -1,0 +1,371 @@
+"""Tests for the predictor, load estimator, prompt scheduler, strategy
+switcher and allocator loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifier.trainer import ClassifierTrainer
+from repro.cluster.cluster import GpuCluster
+from repro.core.allocator import Allocator
+from repro.core.config import ArgusConfig
+from repro.core.oda import ShiftMap
+from repro.core.predictor import LoadEstimator, WorkloadDistributionPredictor
+from repro.core.scheduler import PromptScheduler, WorkerSelector
+from repro.core.strategy import StrategySwitcher
+from repro.models.zoo import ModelZoo, Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.quality.pickscore import PickScoreModel
+from repro.simulation.engine import SimulationEngine
+
+
+class TestWorkloadDistributionPredictor:
+    def test_uniform_before_observations(self):
+        predictor = WorkloadDistributionPredictor(num_levels=4)
+        np.testing.assert_allclose(predictor.affinity_distribution(), np.full(4, 0.25))
+
+    def test_distribution_reflects_observations(self):
+        predictor = WorkloadDistributionPredictor(num_levels=3, lookback=100)
+        predictor.observe_many([0] * 20 + [2] * 80)
+        dist = predictor.affinity_distribution()
+        assert dist[0] == pytest.approx(0.2)
+        assert dist[2] == pytest.approx(0.8)
+
+    def test_lookback_window_drops_old_observations(self):
+        predictor = WorkloadDistributionPredictor(num_levels=2, lookback=10)
+        predictor.observe_many([0] * 10)
+        predictor.observe_many([1] * 10)
+        assert predictor.affinity_distribution()[1] == pytest.approx(1.0)
+
+    def test_prediction_error_low_for_stable_mix(self):
+        # §5.7: the predictor achieves L2 error <= 0.01 with a 1000-sample
+        # window on a stationary prompt mix.
+        rng = np.random.default_rng(0)
+        truth = np.array([0.05, 0.1, 0.15, 0.3, 0.25, 0.15])
+        predictor = WorkloadDistributionPredictor(num_levels=6, lookback=1000)
+        predictor.observe_many(rng.choice(6, size=5000, p=truth).tolist())
+        assert predictor.prediction_error(truth) < 0.05
+
+    def test_invalid_rank_rejected(self):
+        predictor = WorkloadDistributionPredictor(num_levels=3)
+        with pytest.raises(ValueError):
+            predictor.observe(3)
+
+    def test_reset(self):
+        predictor = WorkloadDistributionPredictor(num_levels=2)
+        predictor.observe(1)
+        predictor.reset()
+        assert predictor.num_observations == 0
+
+
+class TestLoadEstimator:
+    def test_zero_before_observations(self):
+        assert LoadEstimator().estimated_qpm() == 0.0
+
+    def test_estimates_constant_rate(self):
+        estimator = LoadEstimator(safety_factor=1.0)
+        for minute in range(5):
+            for i in range(120):
+                estimator.observe_arrival(minute * 60.0 + i * 0.5)
+        estimate = estimator.estimated_qpm()
+        assert 100.0 <= estimate <= 140.0
+
+    def test_reacts_to_spike(self):
+        estimator = LoadEstimator(safety_factor=1.0)
+        for i in range(60):
+            estimator.observe_arrival(i)
+        for i in range(240):
+            estimator.observe_arrival(60.0 + i * 0.25)
+        estimator.observe_arrival(121.0)
+        assert estimator.estimated_qpm() >= 200.0
+
+    def test_safety_factor_applied(self):
+        base = LoadEstimator(safety_factor=1.0)
+        padded = LoadEstimator(safety_factor=1.5)
+        for estimator in (base, padded):
+            for i in range(60):
+                estimator.observe_arrival(float(i))
+            estimator.observe_arrival(61.0)
+        assert padded.estimated_qpm() == pytest.approx(base.estimated_qpm() * 1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LoadEstimator(window_minutes=0)
+        with pytest.raises(ValueError):
+            LoadEstimator(safety_factor=0.5)
+
+    def test_reset(self):
+        estimator = LoadEstimator()
+        estimator.observe_arrival(0.0)
+        estimator.reset()
+        assert estimator.estimated_qpm() == 0.0
+
+
+@pytest.fixture(scope="module")
+def trained_predictor():
+    pickscore = PickScoreModel(seed=0)
+    prompts = PromptDataset.synthetic(count=600, seed=17).prompts
+    return ClassifierTrainer(pickscore).train(prompts, Strategy.AC, epochs=15, seed=0)
+
+
+class TestPromptScheduler:
+    def _build(self, zoo, num_workers=4, slo_budget=None):
+        engine = SimulationEngine(seed=0)
+        cluster = GpuCluster(
+            engine, zoo, num_workers=num_workers, initial_level=zoo.exact_level(Strategy.AC)
+        )
+        scheduler = PromptScheduler(
+            cluster, num_levels=6, rng=np.random.default_rng(0), slo_budget_s=slo_budget
+        )
+        return engine, cluster, scheduler
+
+    def test_routes_to_worker_at_target_level(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo)
+        levels = zoo.levels(Strategy.AC)
+        cluster.apply_assignment({0: levels[0], 1: levels[0], 2: levels[3], 3: levels[3]})
+        scheduler.set_shift_map(ShiftMap.identity(6))
+        decision = scheduler.route(prompts_small[0])
+        assert decision is not None
+        # Without a classifier the prediction defaults to rank 0.
+        assert decision.predicted_rank == 0
+        assert decision.assigned_rank == 0
+        assert decision.worker_id in (0, 1)
+
+    def test_uses_classifier_predictions(self, zoo, prompts_small, trained_predictor):
+        engine, cluster, scheduler = self._build(zoo)
+        scheduler.set_predictor(trained_predictor)
+        predictions = {scheduler.predict_rank(p) for p in prompts_small[:50]}
+        assert len(predictions) > 1
+
+    def test_falls_back_to_nearest_level(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=2)
+        levels = zoo.levels(Strategy.AC)
+        cluster.apply_assignment({0: levels[2], 1: levels[2]})
+        # Force a target of rank 5; only rank-2 workers exist.
+        scheduler.set_shift_map(ShiftMap(matrix=np.tile(np.eye(6)[5], (6, 1))))
+        decision = scheduler.route(prompts_small[0])
+        assert decision.assigned_rank == 2
+
+    def test_no_healthy_workers_returns_none(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=1)
+        cluster.fail_worker(0)
+        assert scheduler.route(prompts_small[0]) is None
+
+    def test_worker_selector_picks_least_loaded(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=2)
+        from repro.cluster.requests import Request
+
+        request = Request(
+            request_id=0,
+            prompt=prompts_small[0],
+            arrival_time_s=0.0,
+            strategy=Strategy.AC,
+            predicted_rank=0,
+            assigned_rank=0,
+        )
+        cluster.dispatch(request, worker_id=0)
+        decision = scheduler.route(prompts_small[1])
+        assert decision.worker_id == 1
+
+    def test_slo_protection_escalates_to_faster_level(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=2, slo_budget=12.6)
+        levels = zoo.levels(Strategy.AC)
+        cluster.apply_assignment({0: levels[0], 1: levels[5]})
+        # Saturate the slow worker far beyond the SLO budget.
+        from repro.cluster.requests import Request
+
+        for i in range(6):
+            cluster.dispatch(
+                Request(
+                    request_id=i,
+                    prompt=prompts_small[i],
+                    arrival_time_s=0.0,
+                    strategy=Strategy.AC,
+                    predicted_rank=0,
+                    assigned_rank=0,
+                ),
+                worker_id=0,
+            )
+        scheduler.set_shift_map(ShiftMap.identity(6))
+        decision = scheduler.route(prompts_small[10])
+        assert decision.worker_id == 1
+        assert decision.assigned_rank == 5
+
+    def test_shift_fraction_tracking(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo)
+        scheduler.set_shift_map(ShiftMap.load_proportional(np.array([0, 0, 0, 0, 0, 1.0])))
+        levels = zoo.levels(Strategy.AC)
+        cluster.apply_assignment({i: levels[5] for i in range(4)})
+        for prompt in prompts_small[:10]:
+            scheduler.route(prompt)
+        assert scheduler.shift_fraction == pytest.approx(1.0)
+
+    def test_mismatched_pasm_rejected(self, zoo):
+        engine, cluster, scheduler = self._build(zoo)
+        with pytest.raises(ValueError):
+            scheduler.set_shift_map(ShiftMap.identity(4))
+
+    def test_worker_selector_requires_candidates(self):
+        with pytest.raises(ValueError):
+            WorkerSelector().select([])
+
+
+class TestStrategySwitcher:
+    def test_default_is_ac(self):
+        assert StrategySwitcher().active is Strategy.AC
+
+    def test_switches_after_consecutive_slow_retrievals(self):
+        switcher = StrategySwitcher(retrieval_latency_threshold_s=0.5, violations_to_switch=5)
+        for i in range(4):
+            assert switcher.observe_retrieval(2.0, now_s=float(i)) is Strategy.AC
+        assert switcher.observe_retrieval(2.0, now_s=5.0) is Strategy.SM
+        assert switcher.num_switches == 1
+        assert switcher.events[0].reason == "cache retrieval degraded"
+
+    def test_healthy_retrievals_reset_counter(self):
+        switcher = StrategySwitcher(violations_to_switch=3)
+        switcher.observe_retrieval(2.0, 0.0)
+        switcher.observe_retrieval(2.0, 1.0)
+        switcher.observe_retrieval(0.05, 2.0)
+        switcher.observe_retrieval(2.0, 3.0)
+        switcher.observe_retrieval(2.0, 4.0)
+        assert switcher.active is Strategy.AC
+
+    def test_outage_counts_as_violation(self):
+        switcher = StrategySwitcher(violations_to_switch=2)
+        switcher.observe_retrieval(None, 0.0)
+        switcher.observe_retrieval(None, 1.0)
+        assert switcher.active is Strategy.SM
+
+    def test_switches_back_after_healthy_probes(self):
+        switcher = StrategySwitcher(violations_to_switch=1, probes_to_recover=2)
+        switcher.observe_retrieval(5.0, 0.0)
+        assert switcher.active is Strategy.SM
+        switcher.observe_probe(0.05, 10.0)
+        assert switcher.active is Strategy.SM
+        switcher.observe_probe(0.05, 20.0)
+        assert switcher.active is Strategy.AC
+        assert switcher.num_switches == 2
+
+    def test_failed_probe_resets_recovery(self):
+        switcher = StrategySwitcher(violations_to_switch=1, probes_to_recover=2)
+        switcher.observe_retrieval(5.0, 0.0)
+        switcher.observe_probe(0.05, 10.0)
+        switcher.observe_probe(None, 20.0)
+        switcher.observe_probe(0.05, 30.0)
+        assert switcher.active is Strategy.SM
+
+    def test_switching_can_be_disabled(self):
+        switcher = StrategySwitcher(violations_to_switch=1, allow_switching=False)
+        switcher.observe_retrieval(None, 0.0)
+        assert switcher.active is Strategy.AC
+
+    def test_force_strategy(self):
+        switcher = StrategySwitcher()
+        switcher.force_strategy(Strategy.SM, 0.0)
+        assert switcher.active is Strategy.SM
+        switcher.force_strategy(Strategy.SM, 1.0)
+        assert switcher.num_switches == 1
+
+    def test_recent_latency_tracking(self):
+        switcher = StrategySwitcher()
+        assert switcher.recent_mean_retrieval_latency() is None
+        switcher.observe_retrieval(0.1, 0.0)
+        switcher.observe_retrieval(0.3, 1.0)
+        assert switcher.recent_mean_retrieval_latency() == pytest.approx(0.2)
+
+
+class TestAllocator:
+    def _build(self, num_workers=4, prompt_aware=True):
+        config = ArgusConfig(num_workers=num_workers)
+        zoo = ModelZoo()
+        engine = SimulationEngine(seed=0)
+        cluster = GpuCluster(
+            engine, zoo, num_workers=num_workers, initial_level=zoo.exact_level(Strategy.AC)
+        )
+        scheduler = PromptScheduler(cluster, num_levels=6, rng=np.random.default_rng(0))
+        quality = {
+            Strategy.AC: np.array([21.0, 20.8, 20.5, 19.8, 18.5, 16.5]),
+            Strategy.SM: np.array([21.0, 20.6, 20.2, 19.5, 18.0, 16.0]),
+        }
+        allocator = Allocator(
+            config=config,
+            zoo=zoo,
+            cluster=cluster,
+            scheduler=scheduler,
+            quality_vectors=quality,
+            prompt_aware=prompt_aware,
+        )
+        return engine, cluster, scheduler, allocator
+
+    def test_low_load_keeps_exact_levels(self):
+        engine, cluster, scheduler, allocator = self._build()
+        for i in range(30):
+            allocator.observe_arrival(float(i))
+        engine.clock.advance_to(61.0)
+        allocator.observe_arrival(61.0)
+        record = allocator.recalibrate(61.0, Strategy.AC)
+        assert record.plan.workers_per_level[0] == 4
+        assert set(cluster.level_assignment().values()) == {0}
+
+    def test_high_load_moves_workers_to_faster_levels(self):
+        engine, cluster, scheduler, allocator = self._build()
+        for i in range(90):
+            allocator.observe_arrival(i * 0.6)
+        engine.clock.advance_to(61.0)
+        allocator.observe_arrival(61.0)
+        record = allocator.recalibrate(61.0, Strategy.AC)
+        assert record.target_qpm > 80.0
+        assert max(cluster.level_assignment().values()) > 0
+
+    def test_prompt_aware_uses_oda(self):
+        from repro.core.oda import OptimizedDistributionAligner
+
+        engine, cluster, scheduler, allocator = self._build(prompt_aware=True)
+        for rank in [4] * 60 + [1] * 20:
+            allocator.observe_affinity(Strategy.AC, rank)
+        for i in range(70):
+            allocator.observe_arrival(i * 0.85)
+        engine.clock.advance_to(61.0)
+        record = allocator.recalibrate(61.0, Strategy.AC)
+        # The installed PASM must be the ODA alignment of the observed
+        # affinity distribution with the solver's load distribution.
+        expected = OptimizedDistributionAligner().align(
+            allocator.predictors[Strategy.AC].affinity_distribution(),
+            record.plan.load_distribution(),
+        )
+        np.testing.assert_allclose(record.shift_map.matrix, expected.matrix, atol=1e-9)
+        assert scheduler.shift_map is record.shift_map
+
+    def test_prompt_agnostic_uses_load_proportional_map(self):
+        engine, cluster, scheduler, allocator = self._build(prompt_aware=False)
+        for i in range(90):
+            allocator.observe_arrival(i * 0.6)
+        engine.clock.advance_to(61.0)
+        record = allocator.recalibrate(61.0, Strategy.AC)
+        matrix = record.shift_map.matrix
+        np.testing.assert_allclose(matrix[0], matrix[5])
+
+    def test_switch_margin_inflates_target(self):
+        engine, cluster, scheduler, allocator = self._build()
+        for i in range(60):
+            allocator.observe_arrival(float(i))
+        engine.clock.advance_to(61.0)
+        normal = allocator.recalibrate(61.0, Strategy.AC).target_qpm
+        allocator.switching_in_progress = True
+        inflated = allocator.recalibrate(61.0, Strategy.AC).target_qpm
+        assert inflated == pytest.approx(normal * allocator.config.switch_margin)
+
+    def test_no_healthy_workers(self):
+        engine, cluster, scheduler, allocator = self._build(num_workers=1)
+        cluster.fail_worker(0)
+        record = allocator.recalibrate(0.0, Strategy.AC)
+        assert not record.plan.feasible
+
+    def test_history_recorded(self):
+        engine, cluster, scheduler, allocator = self._build()
+        allocator.recalibrate(0.0, Strategy.AC)
+        allocator.recalibrate(0.0, Strategy.SM)
+        assert len(allocator.history) == 2
+        assert allocator.last_record.strategy is Strategy.SM

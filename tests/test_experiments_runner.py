@@ -1,0 +1,73 @@
+"""Tests for the experiment harness (runner, factory, comparisons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ArgusConfig
+from repro.experiments.runner import ExperimentRunner, build_system, compare_systems
+from repro.prompts.dataset import PromptDataset
+from repro.workloads.traces import TraceLibrary
+
+
+def tiny_config() -> ArgusConfig:
+    return ArgusConfig(
+        num_workers=2,
+        classifier_training_prompts=200,
+        profiling_prompts=100,
+        classifier_epochs=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_training():
+    return PromptDataset.synthetic(count=200, seed=55)
+
+
+class TestExperimentRunner:
+    def test_run_produces_summary_and_series(self, tiny_training):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=4, qpm=20.0)
+        runner = ExperimentRunner(seed=0, dataset_size=100, drain_s=30.0)
+        system = build_system("clipper-ha", config=tiny_config())
+        result = runner.run(system, trace)
+        assert result.system == "Clipper-HA"
+        assert result.workload == "constant"
+        assert result.summary.total_arrivals > 0
+        assert len(result.minute_series) >= trace.duration_minutes
+        assert len(result.offered_qpm_series) == len(result.served_qpm_series)
+        assert all(0.0 <= v <= 1.0 for v in result.violation_ratio_series)
+
+    def test_extras_expose_cache_state(self, tiny_training):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=3, qpm=15.0)
+        runner = ExperimentRunner(seed=0, dataset_size=100, drain_s=30.0)
+        argus = build_system("argus", config=tiny_config(), training_dataset=tiny_training)
+        result = runner.run(argus, trace)
+        assert result.extras["cache_hit_rate"] is not None
+        no_cache = build_system("clipper-ht", config=tiny_config())
+        result2 = runner.run(no_cache, trace)
+        assert result2.extras["cache_hit_rate"] is None
+
+    def test_make_dataset_respects_size(self):
+        runner = ExperimentRunner(seed=0, dataset_size=123)
+        assert len(runner.make_dataset()) == 123
+
+
+class TestCompareSystems:
+    def test_compare_runs_each_system_once(self, tiny_training):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=3, qpm=18.0)
+        results = compare_systems(
+            ["clipper-ha", "clipper-ht"],
+            trace,
+            config_factory=tiny_config,
+            seed=0,
+            dataset_size=80,
+            training_dataset=tiny_training,
+        )
+        assert set(results) == {"clipper-ha", "clipper-ht"}
+        for result in results.values():
+            assert result.summary.total_completions > 0
+
+    def test_unknown_system_name(self):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=1, qpm=5.0)
+        with pytest.raises(KeyError):
+            compare_systems(["nope"], trace, config_factory=tiny_config, dataset_size=10)

@@ -1,0 +1,141 @@
+"""Tests for the SLO policy, metrics collector and run summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.requests import CompletedRequest, Request
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import summarize
+from repro.metrics.slo import SloPolicy
+from repro.models.zoo import Strategy
+from repro.prompts.generator import PromptGenerator
+
+
+def make_completion(arrival, start, end, prompt, rank=0):
+    request = Request(
+        request_id=0,
+        prompt=prompt,
+        arrival_time_s=arrival,
+        strategy=Strategy.AC,
+        predicted_rank=rank,
+        assigned_rank=rank,
+    )
+    return CompletedRequest(
+        request=request,
+        worker_id=0,
+        start_time_s=start,
+        completion_time_s=end,
+        effective_rank=rank,
+        service_time_s=end - start,
+    )
+
+
+@pytest.fixture()
+def prompt():
+    return PromptGenerator(seed=0).generate_one()
+
+
+class TestSloPolicy:
+    def test_default_budget_is_three_times_sdxl(self):
+        policy = SloPolicy()
+        assert policy.budget_s == pytest.approx(3.0 * 4.2)
+
+    def test_violation_detection(self):
+        policy = SloPolicy()
+        assert not policy.is_violation(10.0)
+        assert policy.is_violation(13.0)
+
+    def test_violation_ratio(self):
+        policy = SloPolicy()
+        assert policy.violation_ratio([5.0, 20.0, 6.0, 30.0]) == pytest.approx(0.5)
+        assert policy.violation_ratio([]) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SloPolicy(multiplier=0)
+
+
+class TestMetricsCollector:
+    def test_record_completion_and_summaries(self, prompt):
+        collector = MetricsCollector()
+        collector.record_arrival(0.0)
+        collector.record_completion(make_completion(0.0, 1.0, 5.0, prompt), 20.0, 21.0)
+        assert collector.total_completions == 1
+        assert collector.total_arrivals == 1
+        assert collector.mean_pickscore() == pytest.approx(20.0)
+        assert collector.mean_relative_quality() == pytest.approx(20.0 / 21.0)
+        assert collector.slo_violation_ratio() == 0.0
+
+    def test_slo_violation_counted(self, prompt):
+        collector = MetricsCollector()
+        collector.record_completion(make_completion(0.0, 10.0, 20.0, prompt), 20.0, 21.0)
+        assert collector.slo_violation_ratio() == 1.0
+
+    def test_effective_accuracy_excludes_violations(self, prompt):
+        collector = MetricsCollector()
+        collector.record_completion(make_completion(0.0, 1.0, 5.0, prompt), 21.0, 21.0)
+        collector.record_completion(make_completion(0.0, 10.0, 30.0, prompt), 10.0, 21.0)
+        assert collector.effective_accuracy() == pytest.approx(21.0)
+
+    def test_minute_series_buckets_by_completion_minute(self, prompt):
+        collector = MetricsCollector()
+        collector.record_arrival(10.0)
+        collector.record_arrival(70.0)
+        collector.record_completion(make_completion(10.0, 11.0, 15.0, prompt), 20.0, 21.0)
+        collector.record_completion(make_completion(70.0, 71.0, 76.0, prompt), 19.0, 21.0)
+        series = collector.minute_series()
+        assert [m.minute for m in series] == [0, 1]
+        assert series[0].completions == 1
+        assert series[1].arrivals == 1
+
+    def test_minute_series_with_offered_load(self, prompt):
+        collector = MetricsCollector()
+        collector.record_completion(make_completion(0.0, 1.0, 5.0, prompt), 20.0, 21.0)
+        series = collector.minute_series(offered={0: 100.0, 1: 50.0})
+        assert series[0].offered_qpm == 100.0
+        assert series[1].offered_qpm == 50.0
+
+    def test_latency_percentiles(self, prompt):
+        collector = MetricsCollector()
+        for latency in (2.0, 4.0, 6.0, 8.0):
+            collector.record_completion(make_completion(0.0, 0.0, latency, prompt), 20.0, 21.0)
+        assert collector.latency_percentile(50) == pytest.approx(5.0)
+        assert collector.latency_percentile(100) == pytest.approx(8.0)
+
+    def test_drops_counted(self):
+        collector = MetricsCollector()
+        collector.record_drop()
+        collector.record_drop()
+        assert collector.dropped_requests == 2
+
+    def test_empty_collector_safe(self):
+        collector = MetricsCollector()
+        assert collector.slo_violation_ratio() == 0.0
+        assert collector.effective_accuracy() == 0.0
+        assert collector.latency_percentile(99) == 0.0
+        assert collector.minute_series() == []
+
+
+class TestRunSummary:
+    def test_summarize(self, prompt):
+        collector = MetricsCollector()
+        collector.record_arrival(0.0)
+        collector.record_arrival(1.0)
+        collector.record_completion(make_completion(0.0, 1.0, 5.0, prompt), 20.0, 21.0)
+        summary = summarize(
+            "Argus", "twitter", collector, duration_minutes=2.0, cluster_utilization=0.8,
+            model_loads=3,
+        )
+        assert summary.system == "Argus"
+        assert summary.total_arrivals == 2
+        assert summary.mean_served_qpm == pytest.approx(0.5)
+        assert summary.cluster_utilization == pytest.approx(0.8)
+        assert summary.model_loads == 3
+        row = summary.as_row()
+        assert row["system"] == "Argus"
+        assert 0.0 <= summary.goodput_fraction <= 1.0
+
+    def test_goodput_fraction_zero_when_no_arrivals(self):
+        summary = summarize("x", "y", MetricsCollector(), duration_minutes=1.0)
+        assert summary.goodput_fraction == 0.0

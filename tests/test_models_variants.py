@@ -1,0 +1,140 @@
+"""Tests for the model variant registry, GPU specs and component profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.components import (
+    MODEL_COMPONENT_PROFILES,
+    arithmetic_intensity,
+    component_profiles_for,
+    total_flops_per_image,
+)
+from repro.models.gpus import GPU_SPECS, gpu_by_name
+from repro.models.variants import (
+    AC_LEVELS,
+    SM_VARIANTS,
+    TOTAL_DIFFUSION_STEPS,
+    ac_level_by_skip,
+    variant_by_name,
+)
+
+
+class TestSmVariants:
+    def test_six_variants(self):
+        assert len(SM_VARIANTS) == 6
+
+    def test_ranks_are_contiguous(self):
+        assert [v.approximation_rank for v in SM_VARIANTS] == list(range(6))
+
+    def test_sdxl_is_rank_zero(self):
+        assert SM_VARIANTS[0].name == "SD-XL"
+        assert SM_VARIANTS[0].approximation_rank == 0
+
+    def test_latency_decreases_with_rank(self):
+        latencies = [v.latency_a100_s for v in SM_VARIANTS]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_sdxl_latency_matches_paper(self):
+        # §5.1: SD-XL averages 4.2 seconds per image on an A100.
+        assert variant_by_name("SD-XL").latency_a100_s == pytest.approx(4.2)
+
+    def test_tiny_latency_matches_table2(self):
+        assert variant_by_name("Tiny-SD").latency_a100_s == pytest.approx(2.18)
+
+    def test_load_times_match_table2(self):
+        # Table 2 "Accelerate" column.
+        assert variant_by_name("SD-XL").load_time_s == pytest.approx(9.42)
+        assert variant_by_name("Tiny-SD").load_time_s == pytest.approx(2.91)
+
+    def test_sizes_decrease_with_rank(self):
+        sizes = [v.size_gib for v in SM_VARIANTS]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_peak_throughput_consistent_with_latency(self):
+        for variant in SM_VARIANTS:
+            assert variant.peak_throughput_qpm == pytest.approx(60.0 / variant.latency_a100_s)
+
+    def test_lookup_is_case_insensitive(self):
+        assert variant_by_name("sd-xl") is SM_VARIANTS[0]
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            variant_by_name("SD-99")
+
+
+class TestAcLevels:
+    def test_six_levels(self):
+        assert len(AC_LEVELS) == 6
+
+    def test_skip_values_match_paper(self):
+        assert [level.skip_steps for level in AC_LEVELS] == [0, 5, 10, 15, 20, 25]
+
+    def test_k0_matches_base_latency(self):
+        assert ac_level_by_skip(0).latency_a100_s == pytest.approx(4.2)
+
+    def test_latency_decreases_with_skip(self):
+        latencies = [level.latency_a100_s for level in AC_LEVELS]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_kept_steps(self):
+        assert ac_level_by_skip(20).kept_steps == TOTAL_DIFFUSION_STEPS - 20
+
+    def test_state_size_matches_paper(self):
+        # §4.7: the cached intermediate noise state is 144 KB.
+        assert ac_level_by_skip(10).state_size_kib == pytest.approx(144.0)
+
+    def test_unknown_skip_raises(self):
+        with pytest.raises(KeyError):
+            ac_level_by_skip(7)
+
+
+class TestGpuSpecs:
+    def test_three_gpus(self):
+        assert set(GPU_SPECS) == {"A100", "A10G", "V100"}
+
+    def test_a100_is_reference(self):
+        assert gpu_by_name("A100").relative_speed == pytest.approx(1.0)
+
+    def test_a100_memory(self):
+        assert gpu_by_name("a100").memory_gib == pytest.approx(80.0)
+
+    def test_ridge_point_positive(self):
+        for spec in GPU_SPECS.values():
+            assert spec.ridge_point > 0
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(KeyError):
+            gpu_by_name("H100")
+
+
+class TestComponentProfiles:
+    def test_table3_row_count(self):
+        # Table 3 lists 4 models x 3 components.
+        assert len(MODEL_COMPONENT_PROFILES) == 12
+
+    def test_sdxl_unet_flops_match_table3(self):
+        unet = [p for p in component_profiles_for("SD-XL") if p.component == "unet"][0]
+        assert unet.flops_billion == pytest.approx(11958.197)
+        assert unet.arithmetic_intensity == pytest.approx(2328.796)
+
+    def test_unet_runs_once_per_step(self):
+        unet = [p for p in component_profiles_for("Tiny-SD") if p.component == "unet"][0]
+        assert unet.invocations_per_image == 50
+
+    def test_unet_dominates_total_flops(self):
+        for model in ("Tiny-SD", "Small-SD", "SD-2.0", "SD-XL"):
+            profiles = component_profiles_for(model)
+            unet = [p for p in profiles if p.component == "unet"][0]
+            assert unet.total_flops_billion > 0.5 * total_flops_per_image(model)
+
+    def test_arithmetic_intensity_positive(self):
+        for model in ("Tiny-SD", "Small-SD", "SD-2.0", "SD-XL"):
+            assert arithmetic_intensity(model) > 0
+
+    def test_sdxl_more_intense_than_tiny(self):
+        assert arithmetic_intensity("SD-XL") > arithmetic_intensity("Tiny-SD")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            component_profiles_for("GPT-4")

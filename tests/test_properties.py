@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants: ODA / PASM, the allocation solver, the simulation engine, the
+vector database and the LRU store."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.store import NoiseStateStore, StoredState
+from repro.cache.vectordb import VectorDatabase
+from repro.core.oda import OptimizedDistributionAligner, ShiftMap
+from repro.core.solver import AllocationSolver
+from repro.simulation.engine import SimulationEngine
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+def distributions(num_levels: int = 6):
+    """Non-degenerate probability distributions over approximation levels."""
+    return (
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=num_levels,
+            max_size=num_levels,
+        )
+        .filter(lambda values: sum(values) > 1e-3)
+        .map(lambda values: np.array(values) / np.sum(values))
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ODA / PASM
+# --------------------------------------------------------------------------- #
+class TestOdaProperties:
+    @given(affinity=distributions(), load=distributions())
+    @settings(max_examples=80, deadline=None)
+    def test_pasm_rows_are_distributions(self, affinity, load):
+        pasm = OptimizedDistributionAligner().align(affinity, load)
+        assert np.all(pasm.matrix >= -1e-12)
+        np.testing.assert_allclose(pasm.matrix.sum(axis=1), 1.0, atol=1e-6)
+
+    @given(affinity=distributions(), load=distributions())
+    @settings(max_examples=80, deadline=None)
+    def test_pasm_realises_target_load(self, affinity, load):
+        pasm = OptimizedDistributionAligner().align(affinity, load)
+        realised = pasm.resulting_distribution(affinity)
+        np.testing.assert_allclose(realised, load, atol=1e-6)
+
+    @given(affinity=distributions())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_distributions_yield_identity_behaviour(self, affinity):
+        pasm = OptimizedDistributionAligner().align(affinity, affinity.copy())
+        realised = pasm.resulting_distribution(affinity)
+        np.testing.assert_allclose(realised, affinity, atol=1e-8)
+        # Levels with positive mass keep their prompts.
+        for rank, mass in enumerate(affinity):
+            if mass > 1e-9:
+                assert pasm.probability(rank, rank) > 0.99
+
+    @given(load=distributions())
+    @settings(max_examples=40, deadline=None)
+    def test_load_proportional_map_is_valid(self, load):
+        pasm = ShiftMap.load_proportional(load + 1e-9)
+        np.testing.assert_allclose(pasm.matrix.sum(axis=1), 1.0, atol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Allocation solver
+# --------------------------------------------------------------------------- #
+class TestSolverProperties:
+    @given(
+        target=st.floats(min_value=0.0, max_value=300.0),
+        num_workers=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_invariants(self, target, num_workers):
+        quality = np.array([21.0, 20.5, 20.0, 19.0, 18.0, 16.0])
+        peak = np.array([14.3, 15.7, 17.5, 19.7, 22.6, 26.5])
+        plan = AllocationSolver().solve(target, quality, peak, num_workers)
+        # Never places more workers than exist.
+        assert plan.total_workers <= num_workers
+        # Load per level never exceeds that level's capacity.
+        for rank, qpm in enumerate(plan.qpm_per_level):
+            assert qpm <= plan.workers_per_level[rank] * peak[rank] + 1e-6
+        # Serves min(target, capacity).
+        max_capacity = peak.max() * num_workers
+        assert plan.total_capacity_qpm <= min(target, max_capacity) + 1e-6
+        if plan.feasible:
+            assert plan.total_capacity_qpm >= target - 1e-6
+        # The load distribution is a probability distribution.
+        assert plan.load_distribution().sum() > 0.999
+
+    @given(
+        target=st.floats(min_value=1.0, max_value=200.0),
+        num_workers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quality_never_below_worst_level(self, target, num_workers):
+        quality = np.array([21.0, 20.0, 18.0, 16.0])
+        peak = np.array([14.0, 18.0, 22.0, 27.0])
+        plan = AllocationSolver().solve(target, quality, peak, num_workers)
+        if plan.total_capacity_qpm > 0:
+            assert quality.min() - 1e-9 <= plan.expected_quality <= quality.max() + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Simulation engine
+# --------------------------------------------------------------------------- #
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_observed_in_sorted_order(self, delays):
+        engine = SimulationEngine()
+        seen = []
+        for delay in delays:
+            engine.schedule_at(delay, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(
+        intervals=st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False), min_size=1, max_size=10
+        ),
+        horizon=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_clock_never_goes_backwards(self, intervals, horizon):
+        engine = SimulationEngine()
+        observed = []
+
+        def record(e):
+            observed.append(e.now)
+
+        for interval in intervals:
+            engine.schedule_every(interval, record)
+        engine.run(until=horizon)
+        assert observed == sorted(observed)
+        assert engine.now >= horizon - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Vector database
+# --------------------------------------------------------------------------- #
+class TestVectorDatabaseProperties:
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                min_size=8,
+                max_size=8,
+            ).filter(lambda v: sum(abs(x) for x in v) > 0.1),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_query_returns_similarity_one(self, data):
+        db = VectorDatabase(dim=8)
+        vectors = [np.array(v) for v in data]
+        for vector in vectors:
+            db.upsert(vector)
+        for vector in vectors[:5]:
+            hit = db.nearest(vector)
+            assert hit is not None
+            assert hit.similarity >= 0.999
+
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                min_size=6,
+                max_size=6,
+            ).filter(lambda v: sum(abs(x) for x in v) > 0.1),
+            min_size=2,
+            max_size=25,
+        ),
+        top_k=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_sorted_and_bounded(self, data, top_k):
+        db = VectorDatabase(dim=6)
+        for v in data:
+            db.upsert(np.array(v))
+        hits = db.search(np.array(data[0]), top_k=top_k)
+        assert len(hits) == min(top_k, len(data))
+        sims = [h.similarity for h in hits]
+        assert sims == sorted(sims, reverse=True)
+        assert all(-1.0 - 1e-6 <= s <= 1.0 + 1e-6 for s in sims)
+
+
+# --------------------------------------------------------------------------- #
+# LRU noise-state store
+# --------------------------------------------------------------------------- #
+class TestStoreProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        prompt_ids=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_store_never_exceeds_capacity(self, capacity, prompt_ids):
+        store = NoiseStateStore(capacity_entries=capacity)
+        for pid in prompt_ids:
+            store.put(StoredState(prompt_id=pid, prompt_text=str(pid), available_steps=(5,)))
+            assert len(store) <= capacity
+        # The most recently inserted prompt is always present.
+        assert prompt_ids[-1] in store
+
+    @given(prompt_ids=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_is_consistent(self, prompt_ids):
+        store = NoiseStateStore(capacity_entries=1000)
+        hits = 0
+        lookups = 0
+        for pid in prompt_ids:
+            lookups += 1
+            if store.get(pid) is not None:
+                hits += 1
+            else:
+                store.put(StoredState(prompt_id=pid, prompt_text=str(pid), available_steps=(5,)))
+        assert store.stats.hits == hits
+        assert store.stats.misses == lookups - hits
+        assert store.stats.hit_rate == (hits / lookups if lookups else 0.0)

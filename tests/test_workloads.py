@@ -1,0 +1,167 @@
+"""Tests for workload traces, arrival processes and request streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prompts.dataset import PromptDataset
+from repro.workloads.arrival import ArrivalProcess
+from repro.workloads.replay import RequestStream
+from repro.workloads.traces import TraceLibrary, WorkloadTrace
+
+
+class TestWorkloadTrace:
+    def test_basic_properties(self):
+        trace = WorkloadTrace("t", (10.0, 20.0, 30.0))
+        assert trace.duration_minutes == 3
+        assert trace.peak_qpm == 30.0
+        assert trace.mean_qpm == pytest.approx(20.0)
+        assert trace.total_queries == pytest.approx(60.0)
+
+    def test_qpm_at_clamps(self):
+        trace = WorkloadTrace("t", (10.0, 20.0))
+        assert trace.qpm_at(0) == 10.0
+        assert trace.qpm_at(5) == 20.0
+
+    def test_scaled(self):
+        trace = WorkloadTrace("t", (10.0, 20.0)).scaled(2.0)
+        assert trace.qpm == (20.0, 40.0)
+
+    def test_normalized_range(self):
+        trace = WorkloadTrace("t", (0.0, 5.0, 10.0)).normalized(50.0, 150.0)
+        assert min(trace.qpm) == pytest.approx(50.0)
+        assert max(trace.qpm) == pytest.approx(150.0)
+
+    def test_window(self):
+        trace = WorkloadTrace("t", tuple(float(i) for i in range(10)))
+        window = trace.window(3, 4)
+        assert window.qpm == (3.0, 4.0, 5.0, 6.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("t", ())
+
+    def test_negative_qpm_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("t", (1.0, -2.0))
+
+
+class TestTraceLibrary:
+    def test_twitter_shape(self):
+        trace = TraceLibrary(seed=0).twitter_like(duration_minutes=240)
+        assert trace.duration_minutes == 240
+        assert trace.peak_qpm > trace.mean_qpm > 0
+        # Diurnal: a peak exists away from the start.
+        peak_minute = int(np.argmax(trace.qpm))
+        assert 40 < peak_minute < 200
+
+    def test_sysx_normalised_to_requested_range(self):
+        trace = TraceLibrary(seed=0).sysx_like(duration_minutes=200, min_qpm=40, max_qpm=150)
+        assert min(trace.qpm) >= 39.0
+        assert max(trace.qpm) <= 151.0
+
+    def test_sysx_is_jittery(self):
+        trace = TraceLibrary(seed=0).sysx_like(duration_minutes=300)
+        diffs = np.abs(np.diff(trace.qpm))
+        assert np.mean(diffs) > 1.0
+
+    def test_bursty_has_two_regimes(self):
+        trace = TraceLibrary(seed=0).bursty(duration_minutes=300, low_qpm=50, high_qpm=150)
+        values = np.asarray(trace.qpm)
+        low_frac = np.mean(values < 100)
+        assert 0.1 < low_frac < 0.9
+        assert np.any(values < 70) and np.any(values > 130)
+
+    def test_increasing_is_monotone_on_average(self):
+        trace = TraceLibrary(seed=0).increasing(duration_minutes=200, start_qpm=40, end_qpm=200)
+        first = np.mean(trace.qpm[:50])
+        last = np.mean(trace.qpm[-50:])
+        assert last > first * 2
+
+    def test_constant(self):
+        trace = TraceLibrary().constant(duration_minutes=10, qpm=77.0)
+        assert all(q == 77.0 for q in trace.qpm)
+
+    def test_by_name(self):
+        library = TraceLibrary(seed=0)
+        assert library.by_name("constant", duration_minutes=5).duration_minutes == 5
+        with pytest.raises(KeyError):
+            library.by_name("unknown")
+
+    def test_reproducible(self):
+        a = TraceLibrary(seed=3).twitter_like(duration_minutes=60)
+        b = TraceLibrary(seed=3).twitter_like(duration_minutes=60)
+        assert a.qpm == b.qpm
+
+
+class TestArrivalProcess:
+    def test_poisson_count_matches_rate(self):
+        trace = WorkloadTrace("t", tuple(120.0 for _ in range(30)))
+        arrivals = ArrivalProcess(seed=0).poisson_arrivals(trace)
+        expected = trace.total_queries
+        assert abs(len(arrivals) - expected) < 0.1 * expected
+
+    def test_poisson_arrivals_sorted_and_in_range(self):
+        trace = WorkloadTrace("t", (60.0, 60.0))
+        arrivals = ArrivalProcess(seed=0).poisson_arrivals(trace)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 120.0 for t in arrivals)
+
+    def test_uniform_exact_count(self):
+        trace = WorkloadTrace("t", (10.0, 20.0))
+        arrivals = ArrivalProcess().uniform_arrivals(trace)
+        assert len(arrivals) == 30
+
+    def test_zero_rate_minute_produces_nothing(self):
+        trace = WorkloadTrace("t", (0.0, 60.0))
+        arrivals = ArrivalProcess(seed=0).poisson_arrivals(trace)
+        assert all(t >= 60.0 for t in arrivals)
+
+    def test_dispatch_on_kind(self):
+        trace = WorkloadTrace("t", (30.0,))
+        process = ArrivalProcess(seed=0)
+        assert len(process.arrivals(trace, kind="uniform")) == 30
+        with pytest.raises(ValueError):
+            process.arrivals(trace, kind="weird")
+
+    def test_reproducible(self):
+        trace = WorkloadTrace("t", (100.0,) * 5)
+        a = ArrivalProcess(seed=4).poisson_arrivals(trace)
+        b = ArrivalProcess(seed=4).poisson_arrivals(trace)
+        assert a == b
+
+
+class TestRequestStream:
+    def test_stream_pairs_prompts_in_order(self):
+        trace = WorkloadTrace("t", (30.0, 30.0))
+        dataset = PromptDataset.synthetic(count=10, seed=0)
+        stream = RequestStream(trace, dataset, seed=0, arrival_kind="uniform")
+        assert len(stream) == 60
+        # Prompts cycle through the dataset in arrival order.
+        assert stream[0].prompt.prompt_id == 0
+        assert stream[10].prompt.prompt_id == 0
+        assert stream[11].prompt.prompt_id == 1
+
+    def test_duration(self):
+        trace = WorkloadTrace("t", (10.0,) * 7)
+        stream = RequestStream(trace, PromptDataset.synthetic(count=5, seed=0), seed=0)
+        assert stream.duration_s == pytest.approx(420.0)
+
+    def test_between_filters_by_time(self):
+        trace = WorkloadTrace("t", (60.0, 60.0))
+        stream = RequestStream(
+            trace, PromptDataset.synthetic(count=5, seed=0), arrival_kind="uniform"
+        )
+        first_minute = stream.between(0.0, 60.0)
+        assert len(first_minute) == 60
+
+    def test_empty_dataset_rejected(self):
+        trace = WorkloadTrace("t", (10.0,))
+        with pytest.raises(ValueError):
+            RequestStream(trace, PromptDataset([]))
+
+    def test_offered_qpm_passthrough(self):
+        trace = WorkloadTrace("t", (15.0, 25.0))
+        stream = RequestStream(trace, PromptDataset.synthetic(count=5, seed=0))
+        assert stream.offered_qpm(1) == 25.0
