@@ -1,0 +1,18 @@
+"""Root pytest configuration: mark tests by suite.
+
+Everything under ``benchmarks/`` is marked ``bench`` (slow end-to-end paper
+reproductions); everything else is marked ``unit``.  This powers the fast
+tier-1 loop ``pytest -m "not bench"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    for item in items:
+        if item.nodeid.startswith("benchmarks/"):
+            item.add_marker(pytest.mark.bench)
+        else:
+            item.add_marker(pytest.mark.unit)

@@ -25,12 +25,17 @@ class GpuCluster:
         on_complete: Callable[[CompletedRequest], None] | None = None,
         on_requeue: Callable[[Request], None] | None = None,
         blocking_loads: bool = False,
+        max_batch_size: int = 1,
+        batch_timeout_s: float = 0.0,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("cluster needs at least one worker")
         self.engine = engine
         self.zoo = zoo
         self.cache = cache
+        #: Per-worker dynamic-batching knobs (1 / 0.0 = batch-size-1 serving).
+        self.max_batch_size = int(max_batch_size)
+        self.batch_timeout_s = float(batch_timeout_s)
         level = initial_level or zoo.exact_level(Strategy.AC)
         self.workers: list[Worker] = [
             Worker(
@@ -43,6 +48,8 @@ class GpuCluster:
                 on_complete=on_complete,
                 on_requeue=on_requeue,
                 blocking_load=blocking_loads,
+                max_batch_size=max_batch_size,
+                batch_timeout_s=batch_timeout_s,
             )
             for i in range(num_workers)
         ]
@@ -77,8 +84,30 @@ class GpuCluster:
         return {w.worker_id: w.level.rank for w in self.healthy_workers}
 
     def total_queue_length(self) -> int:
-        """Total requests queued or in service across healthy workers."""
+        """Total requests queued **or in service** across healthy workers.
+
+        Includes in-flight batch members; for a backlog signal use
+        :meth:`total_queued_requests`, which counts only waiting requests.
+        """
         return sum(w.outstanding for w in self.healthy_workers)
+
+    def total_queued_requests(self) -> int:
+        """Requests waiting in queues (excluding in-service batch members).
+
+        The backlog signal for control loops: with batching enabled a busy
+        worker legitimately holds up to ``max_batch_size`` requests in
+        service, so counting those as backlog would misread steady state.
+        """
+        return sum(w.queue_length for w in self.healthy_workers)
+
+    def backlog_slack(self, per_worker: float = 1.0) -> float:
+        """Queued requests the cluster holds in normal operation.
+
+        Up to one full batch legitimately waits behind each in-flight GPU
+        pass, so the slack scales with the batch limit; control loops treat
+        only queue depth beyond this as backlog.
+        """
+        return per_worker * len(self.healthy_workers) * max(1, self.max_batch_size)
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -142,3 +171,14 @@ class GpuCluster:
     def total_model_loads(self) -> int:
         """Model load operations performed across all workers."""
         return sum(w.stats.model_loads for w in self.workers)
+
+    def total_batches_served(self) -> int:
+        """GPU passes executed across all workers."""
+        return sum(w.stats.batches_served for w in self.workers)
+
+    def mean_batch_occupancy(self) -> float:
+        """Mean requests per GPU pass across the cluster (1.0 when idle)."""
+        batches = self.total_batches_served()
+        if batches == 0:
+            return 1.0
+        return self.total_requests_served() / batches

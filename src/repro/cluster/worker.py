@@ -1,10 +1,17 @@
-"""An event-driven GPU worker.
+"""An event-driven GPU worker with dynamic batching.
 
-A worker serves one request at a time (batch size 1), operates at a single
-approximation level set by the allocator, and pays the model-load latency
-when asked to switch to a different SM variant.  The GPU has room for two
-resident diffusion models, so loads happen in the background while the old
-model keeps serving — the mechanism behind Argus's hitless strategy switch.
+A worker drains its queue into batches of up to ``max_batch_size`` requests,
+optionally waiting ``batch_timeout_s`` for a batch to form, and serves every
+request in a batch in one GPU pass whose cost follows the model's Fig. 14
+batching profile (diffusion models plateau quickly, so batches buy a modest
+but real throughput gain).  With ``max_batch_size=1`` the worker behaves
+exactly like the original batch-size-1 serving path.
+
+The worker operates at a single approximation level set by the allocator and
+pays the model-load latency when asked to switch to a different SM variant.
+The GPU has room for two resident diffusion models, so loads happen in the
+background while the old model keeps serving — the mechanism behind Argus's
+hitless strategy switch.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from repro.cluster.requests import CompletedRequest, Request
 from repro.models.latency import LatencyModel
 from repro.models.variants import SM_VARIANTS
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import Event, SimulationEngine
 
 
 class WorkerState(str, Enum):
@@ -29,6 +36,21 @@ class WorkerState(str, Enum):
     IDLE = "idle"
     BUSY = "busy"
     FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Per-request serving cost computed at batch launch."""
+
+    #: Full single-request wall time (compute + overheads), jittered.
+    service_time_s: float
+    effective_rank: int
+    retrieval_latency_s: float
+    cache_hit: bool
+    retrieval_failed: bool
+    #: Non-compute portion of ``service_time_s`` (cache retrieval and outage
+    #: penalty); batching amortises compute, not this.
+    overhead_s: float = 0.0
 
 
 @dataclass
@@ -41,6 +63,18 @@ class WorkerStats:
     load_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Number of GPU passes (batches) executed; at batch size 1 this equals
+    #: ``requests_served``.
+    batches_served: int = 0
+    #: Largest batch this worker has executed.
+    max_batch_served: int = 0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean requests per executed batch (1.0 when nothing served yet)."""
+        if self.batches_served == 0:
+            return 1.0
+        return self.requests_served / self.batches_served
 
 
 class Worker:
@@ -60,6 +94,8 @@ class Worker:
         failed_retrieval_penalty_s: float = 0.25,
         honor_request_rank: bool = False,
         blocking_load: bool = False,
+        max_batch_size: int = 1,
+        batch_timeout_s: float = 0.0,
     ) -> None:
         self.worker_id = int(worker_id)
         self.engine = engine
@@ -76,15 +112,26 @@ class Worker:
         self.honor_request_rank = bool(honor_request_rank)
         #: When True, serving pauses while a model load is in progress.
         self.blocking_load = bool(blocking_load)
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_timeout_s < 0:
+            raise ValueError("batch_timeout_s must be non-negative")
+        #: Upper bound on requests served per GPU pass.
+        self.max_batch_size = int(max_batch_size)
+        #: How long an under-full batch may wait for more arrivals before
+        #: being launched anyway.  Zero launches immediately (greedy drain).
+        self.batch_timeout_s = float(batch_timeout_s)
 
         self.state = WorkerState.IDLE
         self.stats = WorkerStats()
         self._queue: deque[Request] = deque()
-        self._current: Request | None = None
+        self._batch: list[Request] = []
+        self._forming_event: Event | None = None
+        self._serve_event: Event | None = None
         self._level = level
         self._pending_level: ApproximationLevel | None = None
         self._load_complete_time: float | None = None
-        self.memory.load(self._resident_model_name(level), level.memory_gib)
+        self.memory.load(level.model_name, level.memory_gib)
 
     # ------------------------------------------------------------------ #
     # Level / strategy management
@@ -104,10 +151,6 @@ class Worker:
         """Whether a background model load is in progress."""
         return self._pending_level is not None
 
-    @staticmethod
-    def _resident_model_name(level: ApproximationLevel) -> str:
-        return level.variant_name or level.name
-
     def set_level(self, level: ApproximationLevel) -> float:
         """Ask the worker to operate at ``level``.
 
@@ -119,14 +162,15 @@ class Worker:
         """
         if self.state is WorkerState.FAILED:
             raise RuntimeError(f"worker {self.worker_id} is failed")
-        target_model = self._resident_model_name(level)
+        target_model = level.model_name
         if self.memory.is_resident(target_model):
             self._level = level
             self._pending_level = None
             return 0.0
-        if self._pending_level is not None and self._resident_model_name(
-            self._pending_level
-        ) == target_model:
+        if (
+            self._pending_level is not None
+            and self._pending_level.model_name == target_model
+        ):
             self._pending_level = level
             return max(0.0, (self._load_complete_time or self.engine.now) - self.engine.now)
 
@@ -145,7 +189,7 @@ class Worker:
     ) -> None:
         # Make room if both slots are occupied: evict everything that is not
         # the active model (the previous background model).
-        active = self._resident_model_name(self._level)
+        active = self._level.model_name
         for resident in self.memory.resident_models:
             if resident not in (active, model_name) or (
                 not self.memory.can_fit(level.memory_gib) and resident != active
@@ -165,12 +209,12 @@ class Worker:
     def _finish_load(self, _engine: SimulationEngine) -> None:
         if self._pending_level is None or self.state is WorkerState.FAILED:
             return
-        old_model = self._resident_model_name(self._level)
+        old_model = self._level.model_name
         new_level = self._pending_level
         self._level = new_level
         self._pending_level = None
         self._load_complete_time = None
-        new_model = self._resident_model_name(new_level)
+        new_model = new_level.model_name
         if old_model != new_model:
             self.memory.unload(old_model)
         if self.blocking_load:
@@ -181,31 +225,63 @@ class Worker:
     # ------------------------------------------------------------------ #
     @property
     def queue_length(self) -> int:
-        """Requests waiting (not counting the one in service)."""
+        """Requests waiting (not counting those in service)."""
         return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        """Requests currently being served in the active batch."""
+        return len(self._batch)
 
     @property
     def outstanding(self) -> int:
         """Requests queued plus in service."""
-        return len(self._queue) + (1 if self._current is not None else 0)
+        return len(self._queue) + len(self._batch)
+
+    def _planned_batch_size(self, extra: int = 0) -> int:
+        """Batch size the worker would run with its current backlog."""
+        return max(1, min(self.max_batch_size, self.outstanding + extra))
+
+    def effective_request_latency_s(self, extra: int = 0) -> float:
+        """Amortised per-request service time at the planned batch size.
+
+        This is the batching-profile-aware service rate the scheduler and
+        allocator reason with; at ``max_batch_size=1`` it reduces to the
+        level's single-request latency.
+        """
+        batch = self._planned_batch_size(extra)
+        if batch == 1:
+            return self._level.latency_s
+        return self.zoo.batched_service_time(self._level, batch) / batch
 
     def expected_wait_s(self) -> float:
-        """Estimated time a new arrival would wait before completing (Eq. 3)."""
-        return (self.outstanding + 1) * self._level.latency_s
+        """Estimated time a new arrival would wait before completing (Eq. 3,
+        batch-aware)."""
+        return (self.outstanding + 1) * self.effective_request_latency_s(extra=1)
+
+    def estimated_backlog_s(self) -> float:
+        """Work already queued/in service, in seconds of GPU time (Eq. 3)."""
+        return self.outstanding * self.effective_request_latency_s()
 
     def enqueue(self, request: Request) -> None:
         """Admit a request to this worker's queue."""
         if self.state is WorkerState.FAILED:
             raise RuntimeError(f"worker {self.worker_id} is failed")
         self._queue.append(request)
-        if self.state is WorkerState.IDLE:
+        if not self._batch:
             self._start_next()
 
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
+    def _cancel_forming(self) -> None:
+        if self._forming_event is not None:
+            self._forming_event.cancel()
+            self._forming_event = None
+
     def _start_next(self) -> None:
-        if self.state is WorkerState.FAILED or self._current is not None:
+        """Launch the next batch, or start/continue a forming window."""
+        if self.state is WorkerState.FAILED or self._batch:
             return
         if self.blocking_load and self._pending_level is not None:
             # A naive model swap blocks the serving path until the new model
@@ -215,24 +291,66 @@ class Worker:
         if not self._queue:
             self.state = WorkerState.IDLE
             return
-        request = self._queue.popleft()
-        self._current = request
+        if (
+            self.max_batch_size > 1
+            and self.batch_timeout_s > 0.0
+            and len(self._queue) < self.max_batch_size
+        ):
+            # Under-full batch: hold the queue open for up to the forming
+            # window.  Arrivals that fill the batch launch it early.
+            if self._forming_event is None:
+                self._forming_event = self.engine.schedule_in(
+                    self.batch_timeout_s,
+                    self._forming_timeout,
+                    name=f"batch-form-w{self.worker_id}",
+                )
+            self.state = WorkerState.IDLE
+            return
+        self._cancel_forming()
+        self._launch_batch()
+
+    def _forming_timeout(self, _engine: SimulationEngine) -> None:
+        self._forming_event = None
+        if self.state is WorkerState.FAILED or self._batch or not self._queue:
+            return
+        if self.blocking_load and self._pending_level is not None:
+            return
+        self._launch_batch()
+
+    def _launch_batch(self) -> None:
+        batch_size = min(len(self._queue), self.max_batch_size)
+        batch = [self._queue.popleft() for _ in range(batch_size)]
+        self._batch = batch
         self.state = WorkerState.BUSY
         start = self.engine.now
-        profile = self._service_profile(request)
-        service_time, effective_rank, retrieval_latency, cache_hit, retrieval_failed = profile
         record_level = self._level
-
-        def complete(_engine: SimulationEngine) -> None:
-            self._finish_request(
-                request, start, service_time, effective_rank, retrieval_latency, cache_hit,
-                retrieval_failed, record_level,
+        profiles = [self._service_profile(request) for request in batch]
+        # One GPU pass serves the whole batch; its wall-clock cost is the
+        # slowest member's GPU-compute time scaled by the level's Fig. 14
+        # batching profile (exactly the single-request time at batch 1).
+        # Network overheads (cache retrieval, outage penalty) happen once
+        # per request in parallel, so only the slowest one is paid — they do
+        # not grow with batch size the way compute does.
+        if batch_size == 1:
+            batch_time = profiles[0].service_time_s
+        else:
+            compute = max(p.service_time_s - p.overhead_s for p in profiles)
+            overhead = max(p.overhead_s for p in profiles)
+            batch_time = (
+                compute * self.zoo.batch_latency_multiplier(record_level, batch_size)
+                + overhead
             )
 
-        self.engine.schedule_in(service_time, complete, name=f"serve-w{self.worker_id}")
+        def complete(_engine: SimulationEngine) -> None:
+            self._serve_event = None
+            self._finish_batch(batch, profiles, start, batch_time, record_level)
 
-    def _service_profile(self, request: Request) -> tuple[float, int, float, bool, bool]:
-        """Compute (service time, effective rank, retrieval latency, hit, failed)."""
+        self._serve_event = self.engine.schedule_in(
+            batch_time, complete, name=f"serve-w{self.worker_id}"
+        )
+
+    def _service_profile(self, request: Request) -> ServiceProfile:
+        """Compute the single-request serving cost for one batch member."""
         level = self._level
         if (
             self.honor_request_rank
@@ -245,63 +363,75 @@ class Worker:
         )
         jitter = max(0.8, jitter)
         if level.strategy is Strategy.SM or level.skip_steps in (None, 0) or self.cache is None:
-            return level.latency_s * jitter, level.rank, 0.0, False, False
+            return ServiceProfile(
+                service_time_s=level.latency_s * jitter,
+                effective_rank=level.rank,
+                retrieval_latency_s=0.0,
+                cache_hit=False,
+                retrieval_failed=False,
+            )
 
         outcome = self.cache.retrieve(request.prompt, level.skip_steps, self.engine.now)
         effective_skip = outcome.effective_skip
         spec = self.zoo.ac_level_spec(effective_skip) if effective_skip else None
         base_variant = self.zoo.sm_variant(level.variant_name or "SD-XL")
+        overhead = 0.0
         if spec is None:
             latency = self.latency_model.variant_latency(base_variant)
             effective_rank = 0
         else:
             latency = self.latency_model.ac_latency(spec, base_variant, outcome.retrieval_latency_s)
             effective_rank = spec.approximation_rank
+            overhead = outcome.retrieval_latency_s
         if outcome.network_failed:
             latency += self.failed_retrieval_penalty_s
+            overhead += self.failed_retrieval_penalty_s
         if outcome.hit:
             self.stats.cache_hits += 1
         else:
             self.stats.cache_misses += 1
-        return (
-            latency * jitter,
-            effective_rank,
-            outcome.retrieval_latency_s,
-            outcome.hit,
-            outcome.network_failed,
+        return ServiceProfile(
+            service_time_s=latency * jitter,
+            effective_rank=effective_rank,
+            retrieval_latency_s=outcome.retrieval_latency_s,
+            cache_hit=outcome.hit,
+            retrieval_failed=outcome.network_failed,
+            overhead_s=overhead * jitter,
         )
 
-    def _finish_request(
+    def _finish_batch(
         self,
-        request: Request,
+        batch: list[Request],
+        profiles: list[ServiceProfile],
         start: float,
-        service_time: float,
-        effective_rank: int,
-        retrieval_latency: float,
-        cache_hit: bool,
-        retrieval_failed: bool,
+        batch_time: float,
         level: ApproximationLevel,
     ) -> None:
         if self.state is WorkerState.FAILED:
             return
-        self._current = None
-        self.stats.requests_served += 1
-        self.stats.busy_time_s += service_time
-        if self.cache is not None and level.strategy is Strategy.AC:
-            self.cache.store_states(request.prompt)
-        record = CompletedRequest(
-            request=request,
-            worker_id=self.worker_id,
-            start_time_s=start,
-            completion_time_s=self.engine.now,
-            effective_rank=effective_rank,
-            service_time_s=service_time,
-            retrieval_latency_s=retrieval_latency,
-            cache_hit=cache_hit,
-            retrieval_failed=retrieval_failed,
-        )
-        if self.on_complete is not None:
-            self.on_complete(record)
+        self._batch = []
+        batch_size = len(batch)
+        self.stats.requests_served += batch_size
+        self.stats.busy_time_s += batch_time
+        self.stats.batches_served += 1
+        self.stats.max_batch_served = max(self.stats.max_batch_served, batch_size)
+        for request, profile in zip(batch, profiles):
+            if self.cache is not None and level.strategy is Strategy.AC:
+                self.cache.store_states(request.prompt)
+            record = CompletedRequest(
+                request=request,
+                worker_id=self.worker_id,
+                start_time_s=start,
+                completion_time_s=self.engine.now,
+                effective_rank=profile.effective_rank,
+                service_time_s=batch_time,
+                retrieval_latency_s=profile.retrieval_latency_s,
+                cache_hit=profile.cache_hit,
+                retrieval_failed=profile.retrieval_failed,
+                batch_size=batch_size,
+            )
+            if self.on_complete is not None:
+                self.on_complete(record)
         self._start_next()
 
     # ------------------------------------------------------------------ #
@@ -315,11 +445,17 @@ class Worker:
     def fail(self) -> list[Request]:
         """Fail the worker, returning requests that need re-dispatching."""
         orphans: list[Request] = []
-        if self._current is not None:
-            orphans.append(self._current)
-            self._current = None
+        orphans.extend(self._batch)
+        self._batch = []
         orphans.extend(self._queue)
         self._queue.clear()
+        self._cancel_forming()
+        # Cancel the in-flight GPU pass: its requests are being re-routed,
+        # so letting the stale completion fire after a recovery would
+        # double-complete them.
+        if self._serve_event is not None:
+            self._serve_event.cancel()
+            self._serve_event = None
         self.state = WorkerState.FAILED
         self._pending_level = None
         if self.on_requeue is not None:
@@ -335,7 +471,7 @@ class Worker:
         self.memory.clear()
         target = level or self._level
         self._level = target
-        self.memory.load(self._resident_model_name(target), target.memory_gib)
+        self.memory.load(target.model_name, target.memory_gib)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -349,5 +485,5 @@ class Worker:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Worker(id={self.worker_id}, level={self._level}, state={self.state.value}, "
-            f"queue={self.queue_length})"
+            f"queue={self.queue_length}, batch={self.in_service}/{self.max_batch_size})"
         )

@@ -37,6 +37,11 @@ class AllocationRecord:
     target_qpm: float
     plan: AllocationPlan
     shift_map: ShiftMap
+    #: Estimated arrival rate before backlog drain, safety factor and switch
+    #: margin are applied; the strategy switcher compares this against the
+    #: per-strategy capacity ceilings (transient queue build-up must not
+    #: masquerade as sustained overload).
+    demand_qpm: float = 0.0
 
 
 @dataclass
@@ -89,14 +94,31 @@ class Allocator:
     def recalibrate(self, now_s: float, strategy: Strategy) -> AllocationRecord:
         """Run one calibration tick for the given active strategy."""
         strategy = Strategy(strategy)
-        target_qpm = self.load_estimator.estimated_qpm() * self.config.load_safety_factor
+        # Backlog drain term: plan enough extra capacity to clear any queue
+        # build-up within one reallocation interval, so a burst does not
+        # leave a lingering tail.  In-service batch members are excluded —
+        # they are normal in-flight work — and the slack scales with the
+        # batch limit because up to one full batch legitimately queues
+        # behind each in-flight GPU pass.
+        excess_backlog = max(
+            0, self.cluster.total_queued_requests() - self.cluster.backlog_slack()
+        )
+        demand_qpm = self.load_estimator.estimated_qpm(now_s)
+        drain_qpm = excess_backlog * 60.0 / self.config.reallocation_interval_s
+        target_qpm = (demand_qpm + drain_qpm) * self.config.load_safety_factor
         if self.switching_in_progress:
             target_qpm *= self.config.switch_margin
         target_qpm = max(target_qpm, 1.0)
 
         quality = self.quality_vectors[strategy]
         levels = self.zoo.levels(strategy)
-        peak_qpm = np.array([level.peak_throughput_qpm for level in levels])
+        # Batch-aware capacity model: a worker running full batches sustains
+        # its level's peak QPM times the Fig. 14 speed-up at the cluster's
+        # batch limit (exactly the single-request peak when batching is off).
+        batch = max(1, self.cluster.max_batch_size)
+        peak_qpm = np.array(
+            [self.zoo.batched_peak_qpm(level, batch) for level in levels]
+        )
         num_healthy = len(self.cluster.healthy_workers)
         if num_healthy == 0:
             shift_map = ShiftMap.identity(len(levels))
@@ -107,7 +129,9 @@ class Allocator:
                 target_qpm=target_qpm,
                 expected_quality=0.0,
             )
-            record = AllocationRecord(now_s, strategy, target_qpm, plan, shift_map)
+            record = AllocationRecord(
+                now_s, strategy, target_qpm, plan, shift_map, demand_qpm=demand_qpm
+            )
             self.history.append(record)
             return record
 
@@ -130,6 +154,7 @@ class Allocator:
             target_qpm=target_qpm,
             plan=plan,
             shift_map=shift_map,
+            demand_qpm=demand_qpm,
         )
         self.history.append(record)
         return record

@@ -40,6 +40,11 @@ class BaseServingSystem(ABC):
     """Abstract serving system running on the simulated GPU cluster."""
 
     name = "base"
+    #: Whether this system's serving runtime can execute dynamic batches.
+    #: Systems that model single-request designs (e.g. NIRVANA) set this to
+    #: False and always serve batch-size-1 regardless of the config, so
+    #: batched-vs-unbatched comparisons stay faithful.
+    supports_batching = True
 
     def __init__(
         self,
@@ -60,6 +65,7 @@ class BaseServingSystem(ABC):
             ApproximateCache(network=self.network) if use_cache else None
         )
         self.collector = MetricsCollector(slo=self.config.slo)
+        max_batch = self.config.max_batch_size if self.supports_batching else 1
         self.cluster = GpuCluster(
             engine=self.engine,
             zoo=self.zoo,
@@ -70,6 +76,8 @@ class BaseServingSystem(ABC):
             on_complete=self._handle_completion,
             on_requeue=self._handle_requeue,
             blocking_loads=self.config.blocking_model_loads,
+            max_batch_size=max_batch,
+            batch_timeout_s=self.config.batch_timeout_s if max_batch > 1 else 0.0,
         )
         self._request_ids = itertools.count()
         self._started = False
@@ -131,6 +139,7 @@ class BaseServingSystem(ABC):
         if route is None:
             self.collector.record_drop()
             return
+        request.predicted_rank = route.predicted_rank
         request.assigned_rank = route.assigned_rank
         request.strategy = route.strategy
         self.cluster.dispatch(request, route.worker_id)
@@ -139,14 +148,35 @@ class BaseServingSystem(ABC):
     # Running
     # ------------------------------------------------------------------ #
     def schedule_arrivals(self, timed_prompts) -> None:
-        """Schedule a request stream's arrivals on the engine."""
-        for timed in timed_prompts:
-            prompt = timed.prompt
+        """Stream a request source onto the engine lazily.
 
-            def arrive(_engine, prompt=prompt) -> None:
+        Only the next arrival is ever resident in the event heap: each
+        arrival callback submits its prompt and schedules the one after it.
+        Million-request traces therefore cost O(1) heap space instead of one
+        pre-materialised event per request.
+
+        ``timed_prompts`` must yield arrivals in nondecreasing time order
+        (every arrival process in :mod:`repro.workloads` does).
+        """
+        iterator = iter(timed_prompts)
+
+        def schedule_next() -> None:
+            timed = next(iterator, None)
+            if timed is None:
+                return
+            if timed.arrival_time_s < self.engine.now:
+                raise ValueError(
+                    "schedule_arrivals requires nondecreasing arrival times: "
+                    f"got {timed.arrival_time_s:.6f}s after {self.engine.now:.6f}s"
+                )
+
+            def arrive(_engine, prompt=timed.prompt) -> None:
+                schedule_next()
                 self.submit(prompt)
 
             self.engine.schedule_at(timed.arrival_time_s, arrive, name="arrival")
+
+        schedule_next()
 
     def run(self, duration_s: float, drain_s: float = 120.0) -> None:
         """Run the simulation for ``duration_s`` plus a drain period."""
@@ -164,4 +194,5 @@ class BaseServingSystem(ABC):
             duration_minutes=duration_minutes,
             cluster_utilization=self.cluster.utilization(duration_minutes * 60.0),
             model_loads=self.cluster.total_model_loads(),
+            mean_batch_occupancy=self.cluster.mean_batch_occupancy(),
         )

@@ -35,6 +35,15 @@ class ArgusConfig:
     retrieval_violations_to_switch: int = 20
     #: Interval between background network probes while running on SM.
     probe_interval_s: float = 30.0
+    #: Out-of-band recalibration trigger: when more than this many requests
+    #: per healthy worker *per batch slot* are waiting in queues (in-service
+    #: batch members excluded, threshold scaled by ``max_batch_size``), the
+    #: allocator re-solves immediately instead of waiting for the next
+    #: periodic tick (§4.7 tail-latency protection at the allocation layer).
+    #: Zero or negative disables the trigger.
+    backlog_recalibration_per_worker: float = 3.0
+    #: Minimum spacing between backlog-triggered recalibrations.
+    backlog_recalibration_min_gap_s: float = 10.0
     #: Latency SLO policy (3x the largest model by default).
     slo: SloPolicy = field(default_factory=SloPolicy)
     #: Number of prompts used to train / retrain the classifier.
@@ -45,6 +54,13 @@ class ArgusConfig:
     profiling_prompts: int = 1000
     #: GPU memory per worker in GiB.
     worker_memory_gib: float = 80.0
+    #: Largest batch a worker may serve in one GPU pass.  1 reproduces the
+    #: paper's batch-size-1 serving exactly; >1 enables dynamic batching
+    #: along the Fig. 14 throughput curves.
+    max_batch_size: int = 1
+    #: How long an under-full batch waits for more arrivals before being
+    #: launched anyway (only meaningful when ``max_batch_size > 1``).
+    batch_timeout_s: float = 0.25
     #: When True, a worker stops serving while it loads a new model variant.
     #: Argus keeps this False (it serves with the resident model while the
     #: new one loads, §4.6); baselines that naively swap models pay the full
@@ -64,4 +80,13 @@ class ArgusConfig:
             raise ValueError("load_safety_factor must be >= 1.0")
         if self.switch_margin < 1.0:
             raise ValueError("switch_margin must be >= 1.0")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.batch_timeout_s < 0:
+            raise ValueError("batch_timeout_s must be non-negative")
         self.default_strategy = Strategy(self.default_strategy)
+
+    @property
+    def batching_enabled(self) -> bool:
+        """Whether workers serve dynamic batches rather than batch-size-1."""
+        return self.max_batch_size > 1

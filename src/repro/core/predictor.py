@@ -86,6 +86,9 @@ class LoadEstimator:
         self._current_count = 0
         self._ewma: float | None = None
         self._last_arrival_s = 0.0
+        self._first_arrival_s: float | None = None
+        #: Timestamps of arrivals within the trailing 60 s (sliding window).
+        self._recent: deque[float] = deque()
 
     def observe_arrival(self, time_s: float) -> None:
         """Record one arrival at simulated time ``time_s``."""
@@ -96,6 +99,21 @@ class LoadEstimator:
             self._roll_minute()
         self._current_count += 1
         self._last_arrival_s = float(time_s)
+        if self._first_arrival_s is None:
+            self._first_arrival_s = float(time_s)
+        self._recent.append(float(time_s))
+        cutoff = time_s - 60.0
+        while self._recent and self._recent[0] <= cutoff:
+            self._recent.popleft()
+
+    def _advance_to(self, now_s: float) -> None:
+        """Age estimator state to ``now_s`` (idle minutes count as zero)."""
+        cutoff = now_s - 60.0
+        while self._recent and self._recent[0] <= cutoff:
+            self._recent.popleft()
+        if self._current_minute is not None:
+            while int(now_s // 60) > self._current_minute:
+                self._roll_minute()
 
     def _roll_minute(self) -> None:
         assert self._current_minute is not None
@@ -109,31 +127,36 @@ class LoadEstimator:
         self._current_minute += 1
         self._current_count = 0
 
-    def estimated_qpm(self) -> float:
+    def estimated_qpm(self, now_s: float | None = None) -> float:
         """Predicted load for the next interval, with the safety factor.
 
-        Uses the max of the EWMA and the most recent complete minute so the
-        estimate reacts quickly to upward spikes while smoothing noise, and
-        includes the current partial minute extrapolated to a full minute.
+        Uses the max of the EWMA, the most recent complete minute and a
+        sliding 60-second arrival count, so the estimate reacts to upward
+        spikes within seconds (no waiting for a minute boundary) while the
+        full-width sliding window keeps short Poisson bursts from reading as
+        sustained load.
+
+        Pass ``now_s`` to age the estimate against the clock: without it,
+        state only advances on arrivals, so an idle valley would leave the
+        estimate pinned at the last observed rate indefinitely.
         """
+        if now_s is not None:
+            self._advance_to(now_s)
         candidates: list[float] = []
         if self._ewma is not None:
             candidates.append(self._ewma)
         if self._minute_counts:
             candidates.append(float(self._minute_counts[-1][1]))
-        if self._current_count > 0 and self._current_minute is not None:
-            # Extrapolate the partially observed minute to a full-minute rate.
-            # Short windows are noisy, so the extrapolation is only used once
-            # enough of the minute has been observed — except on a cold start
-            # (no completed minute yet), where reacting early matters more
-            # than precision.
-            elapsed = self._last_arrival_s - self._current_minute * 60.0
-            cold_start = not self._minute_counts and self._ewma is None
-            minimum_window = 5.0 if cold_start else 30.0
-            if elapsed >= minimum_window:
-                candidates.append(self._current_count * 60.0 / min(elapsed, 60.0))
-            elif cold_start:
-                candidates.append(self._current_count * 60.0 / minimum_window)
+        if self._recent and self._first_arrival_s is not None:
+            observed_span = self._last_arrival_s - self._first_arrival_s
+            if observed_span >= 60.0:
+                # A full window of history: the count over the trailing 60 s
+                # is the rate in QPM directly.
+                candidates.append(float(len(self._recent)))
+            else:
+                # Cold start: scale the short observation span up, floored so
+                # a handful of early arrivals cannot explode the estimate.
+                candidates.append(len(self._recent) * 60.0 / max(observed_span, 5.0))
         if not candidates:
             return 0.0
         return max(candidates) * self.safety_factor
@@ -144,3 +167,5 @@ class LoadEstimator:
         self._current_minute = None
         self._current_count = 0
         self._ewma = None
+        self._first_arrival_s = None
+        self._recent.clear()

@@ -31,13 +31,19 @@ class RoutingDecision:
 
 
 class WorkerSelector:
-    """Implements Eq. 3: pick the worker minimising queued work."""
+    """Implements Eq. 3: pick the worker minimising queued work.
+
+    The backlog estimate is batch-aware: a worker that batches amortises its
+    queue over the Fig. 14 speed-up of its level, so at equal queue depth a
+    batching worker is cheaper than a batch-size-1 one.  With batching
+    disabled the estimate reduces to ``outstanding * level.latency_s``.
+    """
 
     def select(self, candidates: list[Worker]) -> Worker:
         """Worker with the smallest expected completion time for a new request."""
         if not candidates:
             raise ValueError("no candidate workers")
-        return min(candidates, key=lambda w: (w.outstanding * w.level.latency_s, w.worker_id))
+        return min(candidates, key=lambda w: (w.estimated_backlog_s(), w.worker_id))
 
 
 class PromptScheduler:

@@ -37,6 +37,9 @@ class ArgusSystem(BaseServingSystem):
 
     name = "Argus"
 
+    #: Switch-event reason used when load (not network health) forces AC->SM.
+    LOAD_SWITCH_REASON = "load exceeds AC capacity"
+
     def __init__(
         self,
         config: ArgusConfig | None = None,
@@ -99,6 +102,12 @@ class ArgusSystem(BaseServingSystem):
         )
         self.drift_detector = DriftDetector()
         self.retraining_events = 0
+        #: True while the system runs SM purely because load outgrew AC's
+        #: throughput ceiling (suppresses the probe-based switch-back).
+        self._load_switched = False
+        #: Debounce: one high-demand observation arms the switch, the second
+        #: consecutive one fires it (filters cold-start estimate noise).
+        self._load_switch_armed = False
         self._recent_prompts: deque[Prompt] = deque(maxlen=self.config.classifier_training_prompts)
 
         self._apply_strategy(self.config.default_strategy)
@@ -131,6 +140,7 @@ class ArgusSystem(BaseServingSystem):
 
     def _on_strategy_change(self, strategy: Strategy) -> None:
         self._apply_strategy(strategy)
+        self._load_switch_armed = False
         self.allocator.switching_in_progress = True
         self.allocator.recalibrate(self.engine.now, strategy)
 
@@ -143,14 +153,20 @@ class ArgusSystem(BaseServingSystem):
 
         def tick(engine: SimulationEngine) -> None:
             was_switching = self.allocator.switching_in_progress
-            if self.active_strategy is Strategy.SM and self.cache is not None:
+            if (
+                self.active_strategy is Strategy.SM
+                and self.cache is not None
+                and not self._load_switched
+            ):
                 probe = self.cache.probe_network(engine.now)
                 previous = self.switcher.active
                 self.switcher.observe_probe(probe, engine.now)
                 if self.switcher.active is not previous:
                     self._on_strategy_change(self.switcher.active)
                     return
-            self.allocator.recalibrate(engine.now, self.active_strategy)
+            record = self.allocator.recalibrate(engine.now, self.active_strategy)
+            if self._consider_load_switch(record):
+                return
             if was_switching:
                 self.allocator.switching_in_progress = False
 
@@ -169,8 +185,83 @@ class ArgusSystem(BaseServingSystem):
         )
 
     def observe_arrival(self, now: float, prompt: Prompt) -> None:
-        """Feed the load estimator."""
+        """Feed the load estimator and watch for backlog build-up."""
         self.allocator.observe_arrival(now)
+        self._maybe_recalibrate_on_backlog(now)
+
+    def _maybe_recalibrate_on_backlog(self, now: float) -> None:
+        """Out-of-band recalibration when queues outgrow the last plan.
+
+        The periodic tick reacts within a minute; a sharp spike can queue
+        hundreds of requests in that window.  When the backlog exceeds the
+        configured per-worker threshold, re-solve immediately (rate-limited
+        so a sustained overload does not thrash the solver).
+        """
+        threshold = self.config.backlog_recalibration_per_worker
+        if threshold <= 0:
+            return
+        # Cheapest check first: this runs on every arrival.
+        last = self.allocator.last_record
+        if last is not None and now - last.time_s < self.config.backlog_recalibration_min_gap_s:
+            return
+        if not self.cluster.healthy_workers:
+            return
+        if self.cluster.total_queued_requests() <= self.cluster.backlog_slack(threshold):
+            return
+        record = self.allocator.recalibrate(now, self.active_strategy)
+        self._consider_load_switch(record)
+
+    def _cluster_ceiling_qpm(self, strategy: Strategy) -> float:
+        """Max sustainable QPM with every healthy worker at the fastest level."""
+        return self.zoo.max_cluster_throughput_qpm(
+            strategy,
+            len(self.cluster.healthy_workers),
+            batch_size=max(1, self.cluster.max_batch_size),
+        )
+
+    def _consider_load_switch(self, record) -> bool:
+        """Load-driven strategy switching (the §4.6 switch, capacity edition).
+
+        AC's throughput ceiling (everything runs on the SD-XL base) is below
+        SM's (Tiny-SD workers).  When the solver reports the target load is
+        infeasible under AC, switch to SM — the model loads happen in the
+        background, so the switch is hitless — and switch back once the load
+        estimate again fits comfortably under the AC ceiling.
+        """
+        if not self.switcher.allow_switching:
+            return False
+        now = self.engine.now
+        ac_ceiling = self._cluster_ceiling_qpm(Strategy.AC)
+        if self.active_strategy is Strategy.AC:
+            # Hysteresis high side: the raw demand (no safety padding) must
+            # press against AC's ceiling before giving up AC quality.
+            if record.demand_qpm <= 0.95 * ac_ceiling:
+                self._load_switch_armed = False
+                return False
+            if self._cluster_ceiling_qpm(Strategy.SM) <= ac_ceiling * 1.01:
+                return False
+            if not self._load_switch_armed:
+                self._load_switch_armed = True
+                return False
+            self._load_switch_armed = False
+            self._load_switched = True
+            self.switcher.force_strategy(Strategy.SM, now, reason=self.LOAD_SWITCH_REASON)
+            self._on_strategy_change(Strategy.SM)
+            return True
+        # Hysteresis low side: return to AC once demand clearly fits again.
+        if self._load_switched and record.demand_qpm <= 0.85 * ac_ceiling:
+            self._load_switched = False
+            if self.cache is not None:
+                probe = self.cache.probe_network(now)
+                if probe is None or probe > self.config.retrieval_latency_threshold_s:
+                    # The cache network degraded while we were on SM for load
+                    # reasons: stay on SM and let the regular probe-recovery
+                    # gate (now re-enabled) decide when AC is safe again.
+                    return False
+            self.switcher.force_strategy(Strategy.AC, now, reason="load fits AC again")
+            self._on_strategy_change(Strategy.AC)
+            return True
+        return False
 
     def route(self, prompt: Prompt) -> Route | None:
         """Classifier + PASM + worker-selector routing."""

@@ -130,7 +130,9 @@ class ExperimentRunner:
         summary = system.summary(workload=trace.name, duration_minutes=trace.duration_minutes)
         extras = {
             "cache_hit_rate": system.cache.hit_rate if system.cache is not None else None,
-            "total_requests": len(stream),
+            # Count what was actually offered instead of len(stream), which
+            # would force the lazy stream to materialise.
+            "total_requests": system.collector.total_arrivals,
         }
         return ExperimentResult(
             system=system.name,

@@ -31,6 +31,11 @@ class ServedSample:
         """End-to-end latency of the request."""
         return self.completed.latency_s
 
+    @property
+    def batch_size(self) -> int:
+        """Size of the GPU pass that served this request."""
+        return self.completed.batch_size
+
 
 @dataclass
 class MinuteStats:

@@ -25,6 +25,9 @@ class RunSummary:
     p99_latency_s: float
     cluster_utilization: float
     model_loads: int
+    #: Mean requests per GPU pass over all completions (1.0 when the run
+    #: served batch-size-1).
+    mean_batch_occupancy: float = 1.0
 
     @property
     def goodput_fraction(self) -> float:
@@ -46,6 +49,7 @@ class RunSummary:
             "p99_latency_s": round(self.p99_latency_s, 2),
             "utilization": round(self.cluster_utilization, 3),
             "model_loads": self.model_loads,
+            "batch_occupancy": round(self.mean_batch_occupancy, 2),
         }
 
 
@@ -56,8 +60,14 @@ def summarize(
     duration_minutes: float,
     cluster_utilization: float = 0.0,
     model_loads: int = 0,
+    mean_batch_occupancy: float = 1.0,
 ) -> RunSummary:
-    """Build a :class:`RunSummary` from a collector."""
+    """Build a :class:`RunSummary` from a collector.
+
+    ``mean_batch_occupancy`` is the cluster's per-pass occupancy
+    (:meth:`repro.cluster.cluster.GpuCluster.mean_batch_occupancy`);
+    callers without batching can leave the batch-size-1 default.
+    """
     duration_minutes = max(duration_minutes, 1e-9)
     return RunSummary(
         system=system,
@@ -74,4 +84,5 @@ def summarize(
         p99_latency_s=collector.latency_percentile(99),
         cluster_utilization=cluster_utilization,
         model_loads=model_loads,
+        mean_batch_occupancy=mean_batch_occupancy,
     )

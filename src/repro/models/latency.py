@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.models.batching import BatchingModel
 from repro.models.gpus import GPU_SPECS, GpuSpec, gpu_by_name
 from repro.models.variants import (
     TOTAL_DIFFUSION_STEPS,
@@ -40,16 +41,23 @@ class LatencyBreakdown:
 class LatencyModel:
     """Predicts single-image inference latency for variants and AC levels."""
 
-    def __init__(self, gpu: str | GpuSpec = "A100") -> None:
+    def __init__(
+        self, gpu: str | GpuSpec = "A100", batching: BatchingModel | None = None
+    ) -> None:
         self.gpu = gpu if isinstance(gpu, GpuSpec) else gpu_by_name(gpu)
+        self.batching = batching or BatchingModel()
 
     # ------------------------------------------------------------------ #
     # SM variants
     # ------------------------------------------------------------------ #
     def variant_latency(self, variant: ModelVariant, batch_size: int = 1) -> float:
         """Latency (seconds) for one batch of ``batch_size`` prompts."""
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
         base = variant.latency_a100_s / self.gpu.relative_speed
-        return base * self._batch_scaling(batch_size)
+        if batch_size == 1:
+            return base
+        return self.batching.batched_service_time(variant.name, base, batch_size)
 
     def variant_breakdown(self, variant: ModelVariant) -> LatencyBreakdown:
         """Split the single-image latency into component contributions."""
@@ -105,22 +113,6 @@ class LatencyModel:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _batch_scaling(batch_size: int) -> float:
-        """How much one batch costs relative to a single image.
-
-        Diffusion models are compute-bound, so batch latency grows almost
-        linearly with batch size (Fig. 14): batching buys only a small
-        per-image saving.
-        """
-        if batch_size < 1:
-            raise ValueError("batch size must be >= 1")
-        if batch_size == 1:
-            return 1.0
-        # ~8% amortised saving per extra image, saturating quickly.
-        saving = 0.08 * min(batch_size - 1, 3)
-        return batch_size * (1.0 - saving / batch_size) if batch_size else 1.0
-
     def latency_matrix(self, variants: list[ModelVariant]) -> dict[str, dict[str, float]]:
         """Latency of each variant on every known GPU (Fig. 5)."""
         matrix: dict[str, dict[str, float]] = {}

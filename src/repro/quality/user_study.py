@@ -10,6 +10,7 @@ systems, not the exact human percentages.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,8 +62,11 @@ class UserStudySimulator:
         """
         if not relative_qualities:
             raise ValueError("relative_qualities must be non-empty")
+        # crc32, not hash(): string hashes are salted per process, which
+        # would make repeated studies of the same system disagree.  Pinned
+        # (not stable_hash) for the same fixture reason as TraceLibrary._rng.
         rng = np.random.default_rng(
-            (self.seed * 1_000_003 + abs(hash(system))) % (1 << 32)
+            (self.seed * 1_000_003 + zlib.crc32(system.encode("utf-8"))) % (1 << 32)
         )
         qualities = np.asarray(relative_qualities, dtype=np.float64)
         relevance_votes = 0

@@ -1,6 +1,14 @@
-"""Arrival processes: convert a QPM trace into timestamped arrivals."""
+"""Arrival processes: convert a QPM trace into timestamped arrivals.
+
+Every process is available in two forms: a generator (``iter_*``) that
+yields one timestamp at a time — the basis of the lazy streaming path, where
+million-request traces never materialise a full arrival list — and a
+list-returning convenience wrapper for tests and offline analysis.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -13,14 +21,16 @@ class ArrivalProcess:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
 
-    def poisson_arrivals(self, trace: WorkloadTrace) -> list[float]:
+    # ------------------------------------------------------------------ #
+    # Streaming generators
+    # ------------------------------------------------------------------ #
+    def iter_poisson_arrivals(self, trace: WorkloadTrace) -> Iterator[float]:
         """Non-homogeneous Poisson arrivals following the trace's QPM.
 
         Within each minute the arrival rate is constant at ``qpm / 60``
         requests per second; inter-arrival gaps are exponential.
         """
         rng = np.random.default_rng(self.seed)
-        arrivals: list[float] = []
         for minute, qpm in enumerate(trace.qpm):
             if qpm <= 0:
                 continue
@@ -31,29 +41,42 @@ class ArrivalProcess:
                 t += rng.exponential(1.0 / rate_per_s)
                 if t >= end:
                     break
-                arrivals.append(float(t))
-        return arrivals
+                yield float(t)
 
-    def uniform_arrivals(self, trace: WorkloadTrace) -> list[float]:
+    def iter_uniform_arrivals(self, trace: WorkloadTrace) -> Iterator[float]:
         """Evenly spaced arrivals matching each minute's QPM exactly.
 
         Deterministic; useful for tests where the exact request count
         matters more than realistic burstiness.
         """
-        arrivals: list[float] = []
         for minute, qpm in enumerate(trace.qpm):
             count = int(round(qpm))
             if count <= 0:
                 continue
             gap = 60.0 / count
             start = minute * 60.0
-            arrivals.extend(start + gap * (i + 0.5) for i in range(count))
-        return arrivals
+            for i in range(count):
+                yield start + gap * (i + 0.5)
+
+    def iter_arrivals(self, trace: WorkloadTrace, kind: str = "poisson") -> Iterator[float]:
+        """Streaming dispatch on arrival ``kind``: 'poisson' or 'uniform'."""
+        if kind == "poisson":
+            return self.iter_poisson_arrivals(trace)
+        if kind == "uniform":
+            return self.iter_uniform_arrivals(trace)
+        raise ValueError(f"unknown arrival kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Materialising wrappers
+    # ------------------------------------------------------------------ #
+    def poisson_arrivals(self, trace: WorkloadTrace) -> list[float]:
+        """All Poisson arrival timestamps as a list."""
+        return list(self.iter_poisson_arrivals(trace))
+
+    def uniform_arrivals(self, trace: WorkloadTrace) -> list[float]:
+        """All uniform arrival timestamps as a list."""
+        return list(self.iter_uniform_arrivals(trace))
 
     def arrivals(self, trace: WorkloadTrace, kind: str = "poisson") -> list[float]:
         """Dispatch on arrival ``kind``: 'poisson' or 'uniform'."""
-        if kind == "poisson":
-            return self.poisson_arrivals(trace)
-        if kind == "uniform":
-            return self.uniform_arrivals(trace)
-        raise ValueError(f"unknown arrival kind {kind!r}")
+        return list(self.iter_arrivals(trace, kind=kind))

@@ -4,6 +4,11 @@ The paper replays DiffusionDB prompts in their original arrival sequence on
 top of the trace's QPS pattern; :class:`RequestStream` does the same with
 the synthetic dataset, wrapping around when the trace needs more requests
 than the dataset holds.
+
+Iterating a stream is lazy: timestamps come from the arrival process one at
+a time, so feeding a stream to ``schedule_arrivals`` keeps memory O(1) even
+for million-request traces.  Random-access helpers (``len``, indexing,
+``between``) materialise the stream on first use and cache it.
 """
 
 from __future__ import annotations
@@ -37,20 +42,39 @@ class RequestStream:
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("dataset must not be empty")
+        if arrival_kind not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival kind {arrival_kind!r}")
         self.trace = trace
         self.dataset = dataset
+        self.seed = int(seed)
         self.arrival_kind = arrival_kind
-        arrivals = ArrivalProcess(seed=seed).arrivals(trace, kind=arrival_kind)
-        self._timed: list[TimedPrompt] = [
-            TimedPrompt(arrival_time_s=t, prompt=dataset[i % len(dataset)])
-            for i, t in enumerate(arrivals)
-        ]
+        self._materialized: list[TimedPrompt] | None = None
+
+    def _iter_lazy(self) -> Iterator[TimedPrompt]:
+        """Generate timed prompts on demand (fresh pass over the arrivals)."""
+        process = ArrivalProcess(seed=self.seed)
+        dataset_size = len(self.dataset)
+        for index, arrival in enumerate(process.iter_arrivals(self.trace, self.arrival_kind)):
+            yield TimedPrompt(arrival_time_s=arrival, prompt=self.dataset[index % dataset_size])
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the full stream has been expanded into memory."""
+        return self._materialized is not None
+
+    @property
+    def _timed(self) -> list[TimedPrompt]:
+        if self._materialized is None:
+            self._materialized = list(self._iter_lazy())
+        return self._materialized
 
     def __len__(self) -> int:
         return len(self._timed)
 
     def __iter__(self) -> Iterator[TimedPrompt]:
-        return iter(self._timed)
+        if self._materialized is not None:
+            return iter(self._materialized)
+        return self._iter_lazy()
 
     def __getitem__(self, index: int) -> TimedPrompt:
         return self._timed[index]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,7 +82,14 @@ class TraceLibrary:
         self.seed = int(seed)
 
     def _rng(self, salt: str) -> np.random.Generator:
-        return np.random.default_rng((self.seed * 7_919 + hash(salt)) % (1 << 32))
+        # crc32, not hash(): string hashes are salted per process, which
+        # would make every run see a different trace.  Deliberately NOT
+        # repro.simulation.randomness.stable_hash — the benchmark suite's
+        # expected figures are calibrated against the exact trace draws this
+        # seeding produces, so the scheme is pinned like a fixture.
+        return np.random.default_rng(
+            (self.seed * 7_919 + zlib.crc32(salt.encode("utf-8"))) % (1 << 32)
+        )
 
     # ------------------------------------------------------------------ #
     # Real-trace lookalikes

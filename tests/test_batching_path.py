@@ -1,0 +1,427 @@
+"""Tests for the dynamic-batching execution path and lazy streaming arrivals.
+
+Covers batch forming (max-size vs timeout triggers), the batched service-time
+model (monotonicity and the Fig. 14 diffusion plateau), batch-aware worker
+stats and cluster accounting, the batch-aware scheduler/allocator cost model,
+the lazy arrival source (O(1) heap events), and the end-to-end guarantee that
+batching strictly increases served throughput under overload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import GpuCluster
+from repro.cluster.requests import Request
+from repro.cluster.worker import Worker
+from repro.core.base import BaseServingSystem, Route
+from repro.core.config import ArgusConfig
+from repro.core.system import ArgusSystem
+from repro.experiments.runner import ExperimentRunner
+from repro.models.batching import (
+    BATCHING_PROFILES,
+    DEFAULT_DIFFUSION_PROFILE,
+    BatchingModel,
+)
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.simulation.engine import SimulationEngine
+from repro.workloads.replay import RequestStream
+from repro.workloads.traces import TraceLibrary, WorkloadTrace
+
+
+def make_request(prompt, request_id=0, arrival=0.0, strategy=Strategy.SM, rank=0):
+    return Request(
+        request_id=request_id,
+        prompt=prompt,
+        arrival_time_s=arrival,
+        strategy=strategy,
+        predicted_rank=rank,
+        assigned_rank=rank,
+    )
+
+
+@pytest.fixture()
+def engine():
+    return SimulationEngine(seed=0)
+
+
+@pytest.fixture()
+def prompts():
+    return PromptDataset.synthetic(count=40, seed=11).prompts
+
+
+class TestBatchedServiceTimeModel:
+    def test_batch_of_one_costs_single_latency(self):
+        model = BatchingModel()
+        for profile in BATCHING_PROFILES:
+            assert model.batched_service_time(profile.name, 4.2, 1) == pytest.approx(4.2)
+
+    def test_batch_time_monotone_increasing(self):
+        model = BatchingModel()
+        for profile in BATCHING_PROFILES:
+            times = [model.batched_service_time(profile.name, 4.2, b) for b in (1, 2, 4, 8, 16)]
+            # Never cheaper to serve a bigger batch; strictly more expensive
+            # for compute-bound diffusion models (their speed-up plateaus
+            # below the batch size).
+            assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))
+            if profile.is_diffusion:
+                assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_per_request_time_monotone_decreasing(self):
+        model = BatchingModel()
+        for profile in BATCHING_PROFILES:
+            times = [
+                model.batched_service_time(profile.name, 4.2, b) / b for b in (1, 2, 4, 8, 16)
+            ]
+            assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_diffusion_throughput_plateaus(self):
+        # Fig. 14: the speed-up of a DM saturates at max_speedup, so peak QPM
+        # at batch 16 stays within the plateau bound while non-DM models keep
+        # scaling far beyond it.
+        model = BatchingModel()
+        for profile in BATCHING_PROFILES:
+            base = 60.0 / model.batched_service_time(profile.name, 4.2, 1)
+            at_16 = 16 * 60.0 / model.batched_service_time(profile.name, 4.2, 16)
+            assert at_16 <= profile.max_speedup * base + 1e-9
+            if profile.is_diffusion:
+                assert at_16 < 2.0 * base
+
+    def test_unknown_variant_falls_back_to_generic_dm(self):
+        model = BatchingModel()
+        assert model.profile_or_default("SD-1.5") is DEFAULT_DIFFUSION_PROFILE
+        assert model.profile_or_default("SD-XL").name == "SD-XL"
+
+    def test_zoo_batched_peak_matches_level_at_batch_one(self, zoo):
+        for strategy in (Strategy.AC, Strategy.SM):
+            for level in zoo.levels(strategy):
+                assert zoo.batched_peak_qpm(level, 1) == pytest.approx(
+                    level.peak_throughput_qpm
+                )
+                assert zoo.batched_peak_qpm(level, 4) > level.peak_throughput_qpm
+
+
+class TestBatchForming:
+    def test_full_batch_launches_immediately(self, engine, zoo, prompts):
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+            max_batch_size=3,
+            batch_timeout_s=5.0,
+        )
+        for i in range(3):
+            worker.enqueue(make_request(prompts[i], request_id=i))
+        engine.run()
+        assert len(completed) == 3
+        assert all(c.batch_size == 3 for c in completed)
+        # The batch filled before the 5 s forming window expired.
+        assert all(c.start_time_s == pytest.approx(0.0) for c in completed)
+        assert len({c.completion_time_s for c in completed}) == 1
+
+    def test_timeout_launches_partial_batch(self, engine, zoo, prompts):
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+            max_batch_size=4,
+            batch_timeout_s=0.5,
+        )
+        worker.enqueue(make_request(prompts[0], request_id=0))
+        worker.enqueue(make_request(prompts[1], request_id=1))
+        engine.run()
+        assert len(completed) == 2
+        assert all(c.batch_size == 2 for c in completed)
+        # Launched by the forming timeout, not immediately.
+        assert all(c.start_time_s == pytest.approx(0.5) for c in completed)
+
+    def test_zero_timeout_drains_greedily(self, engine, zoo, prompts):
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+            max_batch_size=4,
+            batch_timeout_s=0.0,
+        )
+        worker.enqueue(make_request(prompts[0], request_id=0))
+        engine.run()
+        assert completed[0].batch_size == 1
+        assert completed[0].start_time_s == pytest.approx(0.0)
+
+    def test_batch_size_one_matches_sequential_serving(self, engine, zoo, prompts):
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+        )
+        for i in range(3):
+            worker.enqueue(make_request(prompts[i], request_id=i))
+        engine.run()
+        assert len(completed) == 3
+        assert all(c.batch_size == 1 for c in completed)
+        assert worker.stats.batches_served == 3
+
+    def test_batch_amortises_gpu_time(self, engine, zoo, prompts):
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+            max_batch_size=4,
+            batch_timeout_s=1.0,
+            service_jitter=0.0,
+        )
+        for i in range(4):
+            worker.enqueue(make_request(prompts[i], request_id=i))
+        engine.run()
+        assert len(completed) == 4
+        single = zoo.exact_level(Strategy.SM).latency_s
+        # One batch of four costs less GPU time than four sequential passes
+        # but more than one (the diffusion plateau).
+        assert single < worker.stats.busy_time_s < 4 * single
+
+    def test_invalid_batch_parameters_rejected(self, engine, zoo):
+        with pytest.raises(ValueError):
+            Worker(0, engine, zoo, level=zoo.exact_level(Strategy.SM), max_batch_size=0)
+        with pytest.raises(ValueError):
+            Worker(
+                0, engine, zoo, level=zoo.exact_level(Strategy.SM), batch_timeout_s=-1.0
+            )
+
+    def test_failure_orphans_forming_and_inflight_batch(self, engine, zoo, prompts):
+        requeued = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_requeue=requeued.append,
+            max_batch_size=4,
+            batch_timeout_s=5.0,
+        )
+        worker.enqueue(make_request(prompts[0], request_id=0))
+        worker.enqueue(make_request(prompts[1], request_id=1))
+        orphans = worker.fail()
+        assert len(orphans) == 2
+        assert len(requeued) == 2
+        engine.run()  # The cancelled forming event must not fire.
+        assert worker.is_failed
+
+    def test_recovery_does_not_double_complete_inflight_batch(self, engine, zoo, prompts):
+        # The failed batch was re-routed elsewhere; a quick recovery must not
+        # let the stale serve event complete the orphans a second time.
+        completed = []
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            on_complete=completed.append,
+            max_batch_size=2,
+            batch_timeout_s=0.1,
+        )
+        worker.enqueue(make_request(prompts[0], request_id=0))
+        worker.enqueue(make_request(prompts[1], request_id=1))
+        engine.schedule_at(1.0, lambda e: worker.fail())
+        engine.schedule_at(1.5, lambda e: worker.recover())
+        engine.run()
+        assert completed == []
+        assert worker.stats.requests_served == 0
+
+
+class TestBatchAwareStats:
+    def test_worker_occupancy_counters(self, engine, zoo, prompts):
+        worker = Worker(
+            worker_id=0,
+            engine=engine,
+            zoo=zoo,
+            level=zoo.exact_level(Strategy.SM),
+            max_batch_size=2,
+            batch_timeout_s=0.5,
+        )
+        for i in range(4):
+            worker.enqueue(make_request(prompts[i], request_id=i))
+        engine.run()
+        assert worker.stats.requests_served == 4
+        assert worker.stats.batches_served == 2
+        assert worker.stats.max_batch_served == 2
+        assert worker.stats.mean_batch_occupancy == pytest.approx(2.0)
+
+    def test_cluster_mean_batch_occupancy(self, engine, zoo, prompts):
+        cluster = GpuCluster(
+            engine,
+            zoo,
+            num_workers=1,
+            initial_level=zoo.exact_level(Strategy.SM),
+            max_batch_size=3,
+            batch_timeout_s=0.5,
+        )
+        for i in range(3):
+            cluster.dispatch(make_request(prompts[i], request_id=i), worker_id=0)
+        engine.run()
+        assert cluster.total_batches_served() == 1
+        assert cluster.mean_batch_occupancy() == pytest.approx(3.0)
+
+    def test_idle_cluster_occupancy_is_one(self, engine, zoo):
+        cluster = GpuCluster(engine, zoo, num_workers=1)
+        assert cluster.mean_batch_occupancy() == 1.0
+
+
+class TestBatchAwareCostModel:
+    def test_estimated_backlog_amortised_by_batching(self, engine, zoo, prompts):
+        level = zoo.exact_level(Strategy.SM)
+        plain = Worker(0, engine, zoo, level=level)
+        batched = Worker(
+            1, engine, zoo, level=level, max_batch_size=4, batch_timeout_s=5.0
+        )
+        for i in range(4):
+            plain.enqueue(make_request(prompts[i], request_id=i))
+            batched.enqueue(make_request(prompts[4 + i], request_id=4 + i))
+        assert batched.estimated_backlog_s() < plain.estimated_backlog_s()
+        assert batched.expected_wait_s() < plain.expected_wait_s()
+
+    def test_backlog_reduces_to_seed_formula_without_batching(self, engine, zoo, prompts):
+        worker = Worker(0, engine, zoo, level=zoo.exact_level(Strategy.SM))
+        for i in range(3):
+            worker.enqueue(make_request(prompts[i], request_id=i))
+        assert worker.estimated_backlog_s() == pytest.approx(
+            worker.outstanding * worker.level.latency_s
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ArgusConfig(batch_timeout_s=-0.1)
+        assert not ArgusConfig().batching_enabled
+        assert ArgusConfig(max_batch_size=4).batching_enabled
+
+
+class _ScriptedSystem(BaseServingSystem):
+    """Minimal concrete system with scripted routing (for requeue tests)."""
+
+    name = "scripted"
+
+    def __init__(self, routes, **kwargs):
+        super().__init__(**kwargs)
+        self._routes = list(routes)
+
+    def route(self, prompt):
+        worker_id, predicted, assigned = self._routes.pop(0)
+        return Route(
+            worker_id=worker_id,
+            predicted_rank=predicted,
+            assigned_rank=assigned,
+            strategy=Strategy.AC,
+        )
+
+
+class TestRequeueRouting:
+    def test_requeue_refreshes_predicted_rank(self, prompts):
+        # A request re-routed after a worker failure must carry the fresh
+        # prediction; a stale predicted_rank corrupts shift-fraction and
+        # affinity accounting downstream.
+        system = _ScriptedSystem(
+            routes=[(0, 3, 2), (1, 1, 0)],
+            config=ArgusConfig(num_workers=2),
+            use_cache=False,
+        )
+        request = system.submit(prompts[0])
+        assert request.predicted_rank == 3
+        system.cluster.fail_worker(0)
+        assert request.predicted_rank == 1
+        assert request.assigned_rank == 0
+
+
+class TestLazyArrivals:
+    def test_heap_never_holds_more_than_one_arrival(self, prompts):
+        system = _ScriptedSystem(
+            routes=[(0, 0, 0)] * 500,
+            config=ArgusConfig(num_workers=2),
+            use_cache=False,
+        )
+        trace = WorkloadTrace("t", (60.0, 60.0, 60.0))
+        stream = RequestStream(
+            trace, PromptDataset.synthetic(count=30, seed=3), arrival_kind="uniform"
+        )
+        system.schedule_arrivals(stream)
+        engine = system.engine
+        max_pending_arrivals = 0
+        while True:
+            pending = sum(
+                1 for e in engine._heap if e.name == "arrival" and not e.cancelled
+            )
+            max_pending_arrivals = max(max_pending_arrivals, pending)
+            if not engine.step():
+                break
+        assert max_pending_arrivals <= 1
+        assert system.collector.total_arrivals == 180
+
+    def test_stream_iteration_stays_lazy(self):
+        trace = WorkloadTrace("t", (30.0, 30.0))
+        stream = RequestStream(
+            trace, PromptDataset.synthetic(count=10, seed=0), arrival_kind="uniform"
+        )
+        count = sum(1 for _ in stream)
+        assert count == 60
+        assert not stream.is_materialized
+        assert len(stream) == 60  # random access materialises on demand
+        assert stream.is_materialized
+
+    def test_lazy_and_materialized_streams_agree(self):
+        trace = WorkloadTrace("t", (25.0, 40.0))
+        lazy = RequestStream(trace, PromptDataset.synthetic(count=7, seed=5), seed=9)
+        materialized = RequestStream(trace, PromptDataset.synthetic(count=7, seed=5), seed=9)
+        _ = len(materialized)
+        for a, b in zip(lazy, materialized):
+            assert a.arrival_time_s == b.arrival_time_s
+            assert a.prompt.prompt_id == b.prompt.prompt_id
+
+
+class TestBatchingEndToEnd:
+    @pytest.fixture(scope="class")
+    def overload_results(self):
+        """Argus on an overloaded 2-worker cluster, with and without batching."""
+        trace = TraceLibrary(seed=0).constant(duration_minutes=6, qpm=70.0)
+        dataset = PromptDataset.synthetic(count=200, seed=21)
+        results = {}
+        for max_batch in (1, 4):
+            config = ArgusConfig(
+                num_workers=2,
+                classifier_training_prompts=150,
+                profiling_prompts=80,
+                classifier_epochs=5,
+                max_batch_size=max_batch,
+                batch_timeout_s=0.25,
+            )
+            system = ArgusSystem(config=config, training_dataset=dataset)
+            runner = ExperimentRunner(seed=0, dataset_size=250, drain_s=60.0)
+            results[max_batch] = runner.run(system, trace)
+        return results
+
+    def test_batching_strictly_increases_served_qpm(self, overload_results):
+        unbatched = overload_results[1].summary
+        batched = overload_results[4].summary
+        assert batched.mean_served_qpm > unbatched.mean_served_qpm
+
+    def test_batched_run_reports_occupancy(self, overload_results):
+        assert overload_results[1].summary.mean_batch_occupancy == pytest.approx(1.0)
+        assert overload_results[4].summary.mean_batch_occupancy > 1.2
+
+    def test_occupancy_bounded_by_max_batch(self, overload_results):
+        assert overload_results[4].summary.mean_batch_occupancy <= 4.0
