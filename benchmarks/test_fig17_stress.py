@@ -4,6 +4,12 @@ As load ramps from well below capacity to beyond the cluster's fastest
 configuration, Argus keeps its throughput tracking the load and its SLO
 violations low by raising approximation levels, until the accuracy-scaling
 limit is reached and quality saturates at the most approximate level.
+
+The autoscaling extension rides the same ramp (plus a descent) with the
+closed-loop autoscaler enabled: served throughput must keep tracking the
+offered load past the fixed fleet's AC throughput ceiling, SLO violations
+must stay below the fixed-fleet run, and the fleet must scale back in (with
+hysteresis) once the ramp subsides.
 """
 
 from __future__ import annotations
@@ -13,9 +19,12 @@ import pytest
 
 from benchmarks.helpers import bench_config, print_series, print_table
 from repro.experiments.runner import build_system
+from repro.models.zoo import Strategy
+from repro.workloads.traces import WorkloadTrace
 
 SYSTEMS = ["argus", "proteus", "nirvana", "clipper-ht"]
 RAMP_MINUTES = 100
+DESCENT_MINUTES = 40
 
 
 @pytest.fixture(scope="module")
@@ -91,3 +100,104 @@ def test_fig17_claims_hold(stress_results):
     )
     # Clipper-HT always runs the smallest model: lowest quality of the group.
     assert clipper_ht_result.summary.mean_relative_quality < argus_result.summary.mean_relative_quality
+
+
+# --------------------------------------------------------------------- #
+# Autoscaling extension: the §6 signal closed into a control loop
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def autoscale_results(runner, trace_library, training_dataset):
+    """Fixed vs autoscaled Argus on the Fig. 17 ramp plus a descent."""
+    ramp = trace_library.increasing(
+        duration_minutes=RAMP_MINUTES, start_qpm=40.0, end_qpm=240.0
+    )
+    descent = tuple(float(q) for q in np.linspace(230.0, 40.0, DESCENT_MINUTES))
+    trace = WorkloadTrace("increasing-updown", ramp.qpm + descent)
+    results = {}
+    for autoscale in (False, True):
+        config = bench_config(
+            autoscale_enabled=autoscale,
+            max_workers=16,
+            provision_delay_s=90.0,
+        )
+        system = build_system("argus", config=config, training_dataset=training_dataset)
+        results[autoscale] = (runner.run(system, trace), system)
+    return trace, results
+
+
+def test_fig17_autoscaling_ramp(benchmark, autoscale_results):
+    trace, results = autoscale_results
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for autoscale, (result, _system) in results.items():
+        summary = result.summary
+        rows.append(
+            {
+                "fleet": "autoscaled" if autoscale else "fixed (8)",
+                "served_qpm": summary.mean_served_qpm,
+                "slo_violation_ratio": summary.slo_violation_ratio,
+                "relative_quality": summary.mean_relative_quality,
+                "fleet_peak": summary.fleet_peak_workers,
+                "fleet_mean": summary.fleet_mean_workers,
+                "gpu_hours": summary.gpu_hours,
+                "cost_per_image": summary.cost_per_image_usd,
+            }
+        )
+    print_table("Fig. 17 (extension): fixed vs autoscaled fleet", rows)
+
+    scaled_result, scaled_system = results[True]
+    print_series(
+        "Fig. 17 (extension): autoscaled Argus through the up-down ramp",
+        {
+            "offered_qpm": scaled_result.offered_qpm_series[: trace.duration_minutes],
+            "served_qpm": scaled_result.served_qpm_series[: trace.duration_minutes],
+            "violation_ratio": scaled_result.violation_ratio_series[: trace.duration_minutes],
+            "fleet_size": scaled_result.fleet_size_series[: trace.duration_minutes],
+        },
+    )
+    if scaled_system.autoscaler is not None:
+        for event in scaled_system.autoscaler.events:
+            print(
+                f"  t={event.time_s / 60.0:6.1f} min  {event.action:<10} "
+                f"{event.delta:+d} -> {event.fleet_size:2d}  ({event.reason})"
+            )
+
+
+def test_fig17_autoscaler_claims_hold(autoscale_results):
+    trace, results = autoscale_results
+    fixed_result, fixed_system = results[False]
+    scaled_result, scaled_system = results[True]
+
+    offered = np.array(scaled_result.offered_qpm_series[: trace.duration_minutes])
+    served_scaled = np.array(scaled_result.served_qpm_series[: trace.duration_minutes])
+    served_fixed = np.array(fixed_result.served_qpm_series[: trace.duration_minutes])
+
+    # The late ramp offers more than the fixed fleet's AC throughput ceiling.
+    ceiling = fixed_system.zoo.max_cluster_throughput_qpm(Strategy.AC, 8)
+    saturated_band = slice(90, RAMP_MINUTES)
+    assert offered[saturated_band].mean() > ceiling
+
+    # Served QPM keeps tracking the offered load past that ceiling, where
+    # the fixed fleet falls behind.
+    assert served_scaled[saturated_band].mean() > 0.95 * offered[saturated_band].mean()
+    assert served_scaled[saturated_band].mean() > served_fixed[saturated_band].mean()
+
+    # SLO violations stay below the fixed-fleet run.
+    assert (
+        scaled_result.summary.slo_violation_ratio
+        < fixed_result.summary.slo_violation_ratio
+    )
+
+    # The fleet scaled out past the fixed pool and, with hysteresis, back in
+    # once the descent brought load inside the smaller fleet's ceiling.
+    assert scaled_result.summary.fleet_peak_workers > 8
+    assert scaled_result.summary.workers_added > 0
+    assert scaled_result.summary.workers_retired > 0
+    assert scaled_system.autoscaler is not None
+    assert scaled_system.autoscaler.num_scale_ins > 0
+    assert scaled_system.cluster.fleet_size < scaled_result.summary.fleet_peak_workers
+
+    # The fixed baseline stayed fixed (the paper-faithful comparison).
+    assert fixed_result.summary.fleet_peak_workers == 8
+    assert fixed_result.summary.workers_added == 0

@@ -15,6 +15,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-figure reproduction index.
 """
 
+from repro.core.autoscaler import Autoscaler, ScalingEvent
 from repro.core.config import ArgusConfig
 from repro.core.oda import OptimizedDistributionAligner, ShiftMap
 from repro.core.solver import AllocationPlan, AllocationSolver
@@ -39,6 +40,7 @@ __all__ = [
     "ApproximationLevel",
     "ArgusConfig",
     "ArgusSystem",
+    "Autoscaler",
     "ExperimentResult",
     "ExperimentRunner",
     "ModelZoo",
@@ -46,6 +48,7 @@ __all__ = [
     "OptimizedDistributionAligner",
     "PickScoreModel",
     "PromptDataset",
+    "ScalingEvent",
     "ShiftMap",
     "Strategy",
     "TraceLibrary",

@@ -1,18 +1,53 @@
-"""The fixed-size GPU cluster: workers, failure injection and utilisation."""
+"""The elastic GPU cluster: heterogeneous workers, runtime scaling, failure
+injection and utilisation/cost accounting.
+
+The cluster started life as a fixed homogeneous pool; it now supports an
+elastic fleet: workers carry a per-type :class:`~repro.models.gpus.GpuSpec`
+(service times scale with the Fig. 5 relative speeds, memory defaults to the
+GPU's native HBM size), new workers can be provisioned at runtime (node
+provisioning delay plus model warm-up before entering rotation) and drained
+out on scale-in without dropping their in-flight batch.  A fleet log records
+every rotation change so experiments can report fleet-size minute series,
+GPU-hours and dollar cost.  With a homogeneous reference-GPU fleet and no
+scaling events the behaviour is bit-for-bit the original fixed pool.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.cache.approximate import ApproximateCache
 from repro.cluster.requests import CompletedRequest, Request
 from repro.cluster.worker import Worker
+from repro.models.gpus import GpuSpec
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
 from repro.simulation.engine import SimulationEngine
 
 
+@dataclass(frozen=True)
+class FleetLogEntry:
+    """One change to the set of workers in rotation."""
+
+    time_s: float
+    #: Workers in rotation (healthy, not provisioning/draining/retired).
+    active: int
+    #: Active worker count per GPU type.
+    by_gpu: dict[str, int] = field(default_factory=dict)
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FleetMinute:
+    """Time-weighted fleet composition over one simulated minute."""
+
+    minute: int
+    mean_workers: float
+    by_gpu: dict[str, float] = field(default_factory=dict)
+
+
 class GpuCluster:
-    """A fixed pool of GPU workers sharing one simulation engine."""
+    """An elastic pool of GPU workers sharing one simulation engine."""
 
     def __init__(
         self,
@@ -21,38 +56,69 @@ class GpuCluster:
         num_workers: int = 8,
         initial_level: ApproximationLevel | None = None,
         cache: ApproximateCache | None = None,
-        memory_capacity_gib: float = 80.0,
+        memory_capacity_gib: float | None = 80.0,
         on_complete: Callable[[CompletedRequest], None] | None = None,
         on_requeue: Callable[[Request], None] | None = None,
         blocking_loads: bool = False,
         max_batch_size: int = 1,
         batch_timeout_s: float = 0.0,
+        gpu_types: Sequence[GpuSpec | str] | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("cluster needs at least one worker")
+        if gpu_types is not None and len(gpu_types) != num_workers:
+            raise ValueError("gpu_types must list one GPU per initial worker")
         self.engine = engine
         self.zoo = zoo
         self.cache = cache
         #: Per-worker dynamic-batching knobs (1 / 0.0 = batch-size-1 serving).
         self.max_batch_size = int(max_batch_size)
         self.batch_timeout_s = float(batch_timeout_s)
+        # Construction parameters reused verbatim for workers added later.
+        self._memory_capacity_gib = memory_capacity_gib
+        self._on_complete = on_complete
+        self._on_requeue = on_requeue
+        self._blocking_loads = blocking_loads
         level = initial_level or zoo.exact_level(Strategy.AC)
+        self._initial_level = level
         self.workers: list[Worker] = [
-            Worker(
+            self._make_worker(
                 worker_id=i,
-                engine=engine,
-                zoo=zoo,
                 level=level,
-                cache=cache,
-                memory_capacity_gib=memory_capacity_gib,
-                on_complete=on_complete,
-                on_requeue=on_requeue,
-                blocking_load=blocking_loads,
-                max_batch_size=max_batch_size,
-                batch_timeout_s=batch_timeout_s,
+                gpu=gpu_types[i] if gpu_types is not None else None,
+                provisioning=False,
             )
             for i in range(num_workers)
         ]
+        #: Scale events observed (provisioned workers entering rotation /
+        #: workers drained out); failures do not count as scaling.
+        self.workers_added = 0
+        self.workers_retired = 0
+        self.fleet_log: list[FleetLogEntry] = []
+        self._log_fleet("initial fleet")
+
+    def _make_worker(
+        self,
+        worker_id: int,
+        level: ApproximationLevel,
+        gpu: GpuSpec | str | None,
+        provisioning: bool,
+    ) -> Worker:
+        return Worker(
+            worker_id=worker_id,
+            engine=self.engine,
+            zoo=self.zoo,
+            level=level,
+            cache=self.cache,
+            memory_capacity_gib=self._memory_capacity_gib,
+            on_complete=self._on_complete,
+            on_requeue=self._on_requeue,
+            blocking_load=self._blocking_loads,
+            max_batch_size=self.max_batch_size,
+            batch_timeout_s=self.batch_timeout_s,
+            gpu=gpu,
+            provisioning=provisioning,
+        )
 
     # ------------------------------------------------------------------ #
     # Topology queries
@@ -62,13 +128,47 @@ class GpuCluster:
 
     @property
     def num_workers(self) -> int:
-        """Total number of workers, healthy or failed."""
+        """Total number of workers ever created (including retired)."""
         return len(self.workers)
 
     @property
     def healthy_workers(self) -> list[Worker]:
-        """Workers currently able to serve."""
-        return [w for w in self.workers if not w.is_failed]
+        """Workers currently in rotation and able to serve."""
+        return [w for w in self.workers if w.is_active]
+
+    @property
+    def provisioning_workers(self) -> list[Worker]:
+        """Workers allocated but not yet in rotation."""
+        return [w for w in self.workers if w.is_provisioning]
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of workers currently in rotation."""
+        return len(self.healthy_workers)
+
+    def total_speed_factor(self, include_provisioning: bool = False) -> float:
+        """Sum of relative GPU speeds over the active fleet (Eq. 1 units).
+
+        On a homogeneous reference-GPU fleet this equals the worker count
+        exactly, so capacity formulas written against it reproduce the old
+        ``num_workers × rate`` model bit-for-bit.
+        """
+        total = sum(w.speed_factor for w in self.healthy_workers)
+        if include_provisioning:
+            total += sum(w.speed_factor for w in self.provisioning_workers)
+        return total
+
+    def fleet_ceiling_qpm(
+        self, strategy: Strategy | str, include_provisioning: bool = False
+    ) -> float:
+        """Max sustainable QPM with every worker at the fastest level.
+
+        Heterogeneity-aware: each worker contributes the fastest level's
+        batched peak scaled by its GPU speed.
+        """
+        batch = max(1, self.max_batch_size)
+        peak = self.zoo.batched_peak_qpm(self.zoo.fastest_level(strategy), batch)
+        return peak * self.total_speed_factor(include_provisioning)
 
     def workers_at_level(self, rank: int, strategy: Strategy | str | None = None) -> list[Worker]:
         """Healthy workers serving at approximation rank ``rank``."""
@@ -78,6 +178,15 @@ class GpuCluster:
             for w in self.healthy_workers
             if w.level.rank == rank and (strategy is None or w.strategy == strategy)
         ]
+
+    def all_at_fastest_level(self, strategy: Strategy | str) -> bool:
+        """The §6 saturation signal: every healthy worker already serves at
+        the most approximate level, so quality can no longer buy throughput."""
+        healthy = self.healthy_workers
+        if not healthy:
+            return False
+        fastest_rank = self.zoo.fastest_level(strategy).rank
+        return all(w.level.rank >= fastest_rank for w in healthy)
 
     def level_assignment(self) -> dict[int, int]:
         """Mapping worker id -> current approximation rank (healthy only)."""
@@ -121,22 +230,106 @@ class GpuCluster:
         return delays
 
     def dispatch(self, request: Request, worker_id: int) -> None:
-        """Send a request to a specific worker."""
+        """Send a request to a specific worker.
+
+        A routing decision can race with a failure or a scale-in drain on
+        its target; when a requeue hook is configured the request is handed
+        back for re-routing instead of being lost to a ``RuntimeError``.
+        """
         worker = self.workers[worker_id]
-        if worker.is_failed:
-            raise RuntimeError(f"cannot dispatch to failed worker {worker_id}")
+        if not worker.is_active:
+            if self._on_requeue is not None:
+                self._on_requeue(request)
+                return
+            raise RuntimeError(
+                f"cannot dispatch to worker {worker_id} ({worker.state.value})"
+            )
         worker.enqueue(request)
+
+    # ------------------------------------------------------------------ #
+    # Elastic scaling
+    # ------------------------------------------------------------------ #
+    def provision_worker(
+        self,
+        gpu: GpuSpec | str | None = None,
+        level: ApproximationLevel | None = None,
+        provision_delay_s: float = 0.0,
+        on_ready: Callable[[Worker], None] | None = None,
+    ) -> Worker:
+        """Add a worker to the fleet at runtime (scale-out).
+
+        The worker exists immediately (and is billed from now) but stays
+        outside the rotation for ``provision_delay_s`` plus the Table-2
+        warm-up load of its serving model; only then does it start taking
+        requests.  Returns the new worker.
+        """
+        if provision_delay_s < 0:
+            raise ValueError("provision_delay_s must be non-negative")
+        level = level or self._initial_level
+        worker = self._make_worker(
+            worker_id=len(self.workers),
+            level=level,
+            gpu=gpu,
+            provisioning=True,
+        )
+        self.workers.append(worker)
+        warmup_s = worker.load_time_for_level(level)
+
+        def enroll() -> None:
+            worker.enter_rotation()
+            self.workers_added += 1
+            self._log_fleet(f"worker {worker.worker_id} ({worker.gpu.name}) joined")
+            if on_ready is not None:
+                on_ready(worker)
+
+        def ready(_engine: SimulationEngine) -> None:
+            if worker.is_provisioning:
+                enroll()
+            elif worker.is_failed and worker.enrolled_at_s is None:
+                # Failed during provisioning: enroll when it recovers.
+                worker._deferred_enroll = enroll
+
+        self.engine.schedule_in(
+            provision_delay_s + warmup_s, ready, name=f"provision-w{worker.worker_id}"
+        )
+        return worker
+
+    def drain_worker(self, worker_id: int) -> list[Request]:
+        """Remove a worker from rotation gracefully (scale-in).
+
+        The worker stops taking new requests immediately; queued requests
+        are requeued for re-routing and the in-flight batch completes before
+        the worker retires.  Returns the requeued requests.
+        """
+        worker = self.workers[worker_id]
+        was_active = worker.is_active
+        # Only workers that actually joined the rotation count as retired
+        # (once): cancelling a still-provisioning scale-out is not a
+        # scale-in, and draining/failed-never-enrolled workers were already
+        # out of rotation.
+        counts_as_retired = was_active or (
+            worker.is_failed and worker.enrolled_at_s is not None
+        )
+        orphans = worker.begin_drain()
+        if counts_as_retired:
+            self.workers_retired += 1
+        if was_active:
+            self._log_fleet(f"worker {worker_id} drained")
+        return orphans
 
     # ------------------------------------------------------------------ #
     # Failure injection
     # ------------------------------------------------------------------ #
     def fail_worker(self, worker_id: int) -> list[Request]:
         """Fail a worker immediately, returning orphaned requests."""
-        return self.workers[worker_id].fail()
+        orphans = self.workers[worker_id].fail()
+        self._log_fleet(f"worker {worker_id} failed")
+        return orphans
 
     def recover_worker(self, worker_id: int, level: ApproximationLevel | None = None) -> None:
         """Recover a failed worker."""
         self.workers[worker_id].recover(level)
+        self._log_fleet(f"worker {worker_id} recovered")
 
     def schedule_failure(
         self, worker_id: int, fail_at_s: float, recover_at_s: float | None = None
@@ -155,14 +348,96 @@ class GpuCluster:
             )
 
     # ------------------------------------------------------------------ #
+    # Fleet accounting
+    # ------------------------------------------------------------------ #
+    def _log_fleet(self, reason: str) -> None:
+        active = self.healthy_workers
+        by_gpu: dict[str, int] = {}
+        for worker in active:
+            by_gpu[worker.gpu.name] = by_gpu.get(worker.gpu.name, 0) + 1
+        self.fleet_log.append(
+            FleetLogEntry(
+                time_s=self.engine.now, active=len(active), by_gpu=by_gpu, reason=reason
+            )
+        )
+
+    def fleet_minute_series(self, duration_minutes: int) -> list[FleetMinute]:
+        """Time-weighted fleet size (total and per GPU type) per minute."""
+        series: list[FleetMinute] = []
+        log = self.fleet_log
+        if not log or duration_minutes <= 0:
+            return series
+        index = 0
+        for minute in range(int(duration_minutes)):
+            start, end = minute * 60.0, (minute + 1) * 60.0
+            # Advance to the last entry at or before the minute start.
+            while index + 1 < len(log) and log[index + 1].time_s <= start:
+                index += 1
+            total = 0.0
+            by_gpu: dict[str, float] = {}
+            cursor, i = start, index
+            while cursor < end:
+                entry = log[i]
+                next_change = (
+                    log[i + 1].time_s if i + 1 < len(log) and log[i + 1].time_s < end else end
+                )
+                span = max(0.0, next_change - cursor)
+                total += entry.active * span
+                for gpu_name, count in entry.by_gpu.items():
+                    by_gpu[gpu_name] = by_gpu.get(gpu_name, 0.0) + count * span
+                cursor = next_change
+                if i + 1 < len(log) and log[i + 1].time_s <= next_change:
+                    i += 1
+            series.append(
+                FleetMinute(
+                    minute=minute,
+                    mean_workers=total / 60.0,
+                    by_gpu={name: value / 60.0 for name, value in by_gpu.items()},
+                )
+            )
+        return series
+
+    def fleet_stats(self, until_s: float) -> tuple[int, float]:
+        """(peak, time-weighted mean) workers in rotation over [0, until_s]."""
+        log = self.fleet_log
+        if not log or until_s <= 0:
+            return 0, 0.0
+        peak = 0
+        weighted = 0.0
+        for i, entry in enumerate(log):
+            if entry.time_s >= until_s:
+                break
+            end = log[i + 1].time_s if i + 1 < len(log) else until_s
+            end = min(end, until_s)
+            if end > entry.time_s:
+                weighted += entry.active * (end - entry.time_s)
+            peak = max(peak, entry.active)
+        return peak, weighted / until_s
+
+    def gpu_hours(self, until_s: float) -> float:
+        """Billable GPU-hours across the fleet up to ``until_s``."""
+        return sum(w.billed_s(until_s) for w in self.workers) / 3600.0
+
+    def total_cost_usd(self, until_s: float) -> float:
+        """Dollar cost of the fleet up to ``until_s`` (per-GPU list prices)."""
+        return sum(
+            w.billed_s(until_s) / 3600.0 * w.gpu.hourly_cost_usd for w in self.workers
+        )
+
+    # ------------------------------------------------------------------ #
     # Metrics
     # ------------------------------------------------------------------ #
     def utilization(self, elapsed_s: float | None = None) -> float:
-        """Mean busy fraction across all workers."""
+        """Mean busy fraction across workers, each normalised by its own
+        enrolled-and-healthy time (late joiners and failure downtime do not
+        dilute the figure)."""
         elapsed = elapsed_s if elapsed_s is not None else self.engine.now
         if elapsed <= 0 or not self.workers:
             return 0.0
-        return sum(w.utilization(elapsed) for w in self.workers) / len(self.workers)
+        enrolled = [w for w in self.workers if w.enrolled_healthy_s(elapsed) > 0]
+        if not enrolled:
+            return 0.0
+        return sum(w.utilization(elapsed) for w in enrolled) / len(enrolled)
 
     def total_requests_served(self) -> int:
         """Requests completed across all workers."""

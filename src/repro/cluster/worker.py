@@ -12,6 +12,14 @@ pays the model-load latency when asked to switch to a different SM variant.
 The GPU has room for two resident diffusion models, so loads happen in the
 background while the old model keeps serving — the mechanism behind Argus's
 hitless strategy switch.
+
+Workers are heterogeneity-aware: each carries a :class:`GpuSpec` and scales
+every service time by its speed relative to the zoo's reference GPU (the
+Fig. 5 latency matrix applied per worker).  They also have an elastic
+lifecycle: a worker may be created in the ``PROVISIONING`` state (outside
+the serving rotation until its node and model warm-up are ready) and later
+drained out of rotation (``DRAINING`` → ``RETIRED``) without dropping its
+in-flight batch.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import Callable
 from repro.cache.approximate import ApproximateCache
 from repro.cluster.memory import GpuMemory
 from repro.cluster.requests import CompletedRequest, Request
+from repro.models.gpus import GpuSpec, gpu_by_name
 from repro.models.latency import LatencyModel
 from repro.models.variants import SM_VARIANTS
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
@@ -33,9 +42,15 @@ from repro.simulation.engine import Event, SimulationEngine
 class WorkerState(str, Enum):
     """Lifecycle state of a worker."""
 
+    #: Node allocated but not yet in rotation (provisioning + model warm-up).
+    PROVISIONING = "provisioning"
     IDLE = "idle"
     BUSY = "busy"
     FAILED = "failed"
+    #: Finishing its in-flight batch, accepting no new requests.
+    DRAINING = "draining"
+    #: Permanently removed from the fleet (scale-in completed).
+    RETIRED = "retired"
 
 
 @dataclass(frozen=True)
@@ -87,7 +102,7 @@ class Worker:
         zoo: ModelZoo,
         level: ApproximationLevel,
         cache: ApproximateCache | None = None,
-        memory_capacity_gib: float = 80.0,
+        memory_capacity_gib: float | None = 80.0,
         on_complete: Callable[[CompletedRequest], None] | None = None,
         on_requeue: Callable[[Request], None] | None = None,
         service_jitter: float = 0.03,
@@ -96,13 +111,28 @@ class Worker:
         blocking_load: bool = False,
         max_batch_size: int = 1,
         batch_timeout_s: float = 0.0,
+        gpu: GpuSpec | str | None = None,
+        provisioning: bool = False,
     ) -> None:
         self.worker_id = int(worker_id)
         self.engine = engine
         self.zoo = zoo
         self.cache = cache
+        #: Reference GPU the zoo's level latencies were built for.
+        self._reference_gpu: GpuSpec = zoo.latency_model.gpu
+        if gpu is None:
+            self.gpu = self._reference_gpu
+        elif isinstance(gpu, GpuSpec):
+            self.gpu = gpu
+        else:
+            self.gpu = gpu_by_name(gpu)
+        #: Service-rate multiplier relative to the zoo's reference GPU
+        #: (1.0 on a homogeneous fleet; < 1.0 for slower generations).
+        self.speed_factor = self.gpu.relative_speed / self._reference_gpu.relative_speed
+        if memory_capacity_gib is None:
+            memory_capacity_gib = self.gpu.memory_gib
         self.memory = GpuMemory(memory_capacity_gib)
-        self.latency_model = LatencyModel(zoo.gpu)
+        self.latency_model = LatencyModel(self.gpu)
         self.on_complete = on_complete
         self.on_requeue = on_requeue
         self.service_jitter = float(service_jitter)
@@ -122,7 +152,7 @@ class Worker:
         #: being launched anyway.  Zero launches immediately (greedy drain).
         self.batch_timeout_s = float(batch_timeout_s)
 
-        self.state = WorkerState.IDLE
+        self.state = WorkerState.PROVISIONING if provisioning else WorkerState.IDLE
         self.stats = WorkerStats()
         self._queue: deque[Request] = deque()
         self._batch: list[Request] = []
@@ -132,6 +162,21 @@ class Worker:
         self._pending_level: ApproximationLevel | None = None
         self._load_complete_time: float | None = None
         self.memory.load(level.model_name, level.memory_gib)
+
+        #: When the node started accruing cost (provisioning counts: the
+        #: cloud bills from allocation, not from the first served request).
+        self.billed_from_s = engine.now
+        #: When the worker entered the serving rotation (None while still
+        #: provisioning).  0.0 for workers present since the start.
+        self.enrolled_at_s: float | None = None if provisioning else engine.now
+        #: When the worker left the fleet for good (scale-in), None while alive.
+        self.retired_at_s: float | None = None
+        #: Closed failure intervals (downtime) while enrolled.
+        self._downtime_intervals: list[tuple[float, float]] = []
+        self._failed_at_s: float | None = None
+        #: Set by the cluster when the provision timer elapsed while this
+        #: worker was failed; invoked on recovery to enroll it then.
+        self._deferred_enroll: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------ #
     # Level / strategy management
@@ -160,8 +205,8 @@ class Worker:
         happens in the background; the worker keeps serving at its old level
         until the load completes.
         """
-        if self.state is WorkerState.FAILED:
-            raise RuntimeError(f"worker {self.worker_id} is failed")
+        if self.state in (WorkerState.FAILED, WorkerState.RETIRED):
+            raise RuntimeError(f"worker {self.worker_id} is {self.state.value}")
         target_model = level.model_name
         if self.memory.is_resident(target_model):
             self._level = level
@@ -174,9 +219,17 @@ class Worker:
             self._pending_level = level
             return max(0.0, (self._load_complete_time or self.engine.now) - self.engine.now)
 
-        load_time = level.switch_cost_s or self._load_time_for(target_model)
+        load_time = self.load_time_for_level(level)
         self._start_background_load(level, target_model, load_time)
         return load_time
+
+    def load_time_for_level(self, level: ApproximationLevel) -> float:
+        """Table-2 time to make ``level``'s model resident on this worker.
+
+        Used both for serving-path switches and for the provisioning warm-up
+        of freshly added workers, so the two can never diverge.
+        """
+        return level.switch_cost_s or self._load_time_for(level.model_name)
 
     def _load_time_for(self, model_name: str) -> float:
         for variant in SM_VARIANTS:
@@ -207,7 +260,10 @@ class Worker:
         self.engine.schedule_in(load_time, self._finish_load, name=f"load-w{self.worker_id}")
 
     def _finish_load(self, _engine: SimulationEngine) -> None:
-        if self._pending_level is None or self.state is WorkerState.FAILED:
+        if self._pending_level is None or self.state in (
+            WorkerState.FAILED,
+            WorkerState.RETIRED,
+        ):
             return
         old_model = self._level.model_name
         new_level = self._pending_level
@@ -242,17 +298,38 @@ class Worker:
         """Batch size the worker would run with its current backlog."""
         return max(1, min(self.max_batch_size, self.outstanding + extra))
 
+    def level_latency_s(self, level: ApproximationLevel | None = None) -> float:
+        """Single-request latency of ``level`` on *this worker's* GPU.
+
+        The zoo's level latencies are calibrated for the reference GPU; a
+        slower generation stretches them by its Fig. 5 relative speed.  On a
+        homogeneous fleet ``speed_factor == 1.0`` and this is exactly the
+        level latency.
+        """
+        level = level or self._level
+        return level.latency_s / self.speed_factor
+
+    def peak_qpm(self, level: ApproximationLevel | None = None, batch_size: int = 1) -> float:
+        """Sustained QPM this worker delivers at ``level`` (Eq. 1 capacity).
+
+        The per-worker capacity term of the heterogeneity-aware allocator:
+        the level's batched peak on the reference GPU scaled by this
+        worker's relative speed.
+        """
+        level = level or self._level
+        return self.zoo.batched_peak_qpm(level, max(1, batch_size)) * self.speed_factor
+
     def effective_request_latency_s(self, extra: int = 0) -> float:
         """Amortised per-request service time at the planned batch size.
 
-        This is the batching-profile-aware service rate the scheduler and
-        allocator reason with; at ``max_batch_size=1`` it reduces to the
-        level's single-request latency.
+        This is the batching-profile-aware, GPU-speed-aware service rate the
+        scheduler and allocator reason with; at ``max_batch_size=1`` on the
+        reference GPU it reduces to the level's single-request latency.
         """
         batch = self._planned_batch_size(extra)
         if batch == 1:
-            return self._level.latency_s
-        return self.zoo.batched_service_time(self._level, batch) / batch
+            return self.level_latency_s()
+        return self.zoo.batched_service_time(self._level, batch) / batch / self.speed_factor
 
     def expected_wait_s(self) -> float:
         """Estimated time a new arrival would wait before completing (Eq. 3,
@@ -265,8 +342,10 @@ class Worker:
 
     def enqueue(self, request: Request) -> None:
         """Admit a request to this worker's queue."""
-        if self.state is WorkerState.FAILED:
-            raise RuntimeError(f"worker {self.worker_id} is failed")
+        if not self.is_active:
+            raise RuntimeError(
+                f"worker {self.worker_id} cannot accept requests ({self.state.value})"
+            )
         self._queue.append(request)
         if not self._batch:
             self._start_next()
@@ -364,7 +443,7 @@ class Worker:
         jitter = max(0.8, jitter)
         if level.strategy is Strategy.SM or level.skip_steps in (None, 0) or self.cache is None:
             return ServiceProfile(
-                service_time_s=level.latency_s * jitter,
+                service_time_s=self.level_latency_s(level) * jitter,
                 effective_rank=level.rank,
                 retrieval_latency_s=0.0,
                 cache_hit=False,
@@ -407,7 +486,7 @@ class Worker:
         batch_time: float,
         level: ApproximationLevel,
     ) -> None:
-        if self.state is WorkerState.FAILED:
+        if self.state in (WorkerState.FAILED, WorkerState.RETIRED):
             return
         self._batch = []
         batch_size = len(batch)
@@ -432,7 +511,71 @@ class Worker:
             )
             if self.on_complete is not None:
                 self.on_complete(record)
+        if self.state is WorkerState.DRAINING:
+            self._retire()
+            return
         self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Elastic lifecycle (provision / drain / retire)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_active(self) -> bool:
+        """Whether the worker is in the serving rotation (may take requests)."""
+        return self.state in (WorkerState.IDLE, WorkerState.BUSY)
+
+    @property
+    def is_provisioning(self) -> bool:
+        """Whether the worker is still being provisioned / warmed up."""
+        return self.state is WorkerState.PROVISIONING
+
+    @property
+    def is_retired(self) -> bool:
+        """Whether the worker has left the fleet permanently."""
+        return self.state is WorkerState.RETIRED
+
+    def enter_rotation(self) -> None:
+        """Promote a provisioned worker into the serving rotation."""
+        if self.state is not WorkerState.PROVISIONING:
+            return
+        self.state = WorkerState.IDLE
+        self.enrolled_at_s = self.engine.now
+
+    def begin_drain(self) -> list[Request]:
+        """Leave the rotation gracefully (scale-in).
+
+        Queued requests are handed back for re-routing immediately; the
+        in-flight batch (if any) finishes normally, after which the worker
+        retires.  Returns the requeued requests.
+        """
+        if self.state in (WorkerState.RETIRED, WorkerState.FAILED):
+            if self.state is WorkerState.FAILED:
+                self._retire()
+            return []
+        orphans = list(self._queue)
+        self._queue.clear()
+        self._cancel_forming()
+        if self.on_requeue is not None:
+            for request in orphans:
+                self.on_requeue(request)
+        if self._batch:
+            self.state = WorkerState.DRAINING
+        else:
+            self._retire()
+        return orphans
+
+    def _retire(self) -> None:
+        now = self.engine.now
+        if self._failed_at_s is not None:
+            self._downtime_intervals.append((self._failed_at_s, now))
+            self._failed_at_s = None
+        self.state = WorkerState.RETIRED
+        self.retired_at_s = now
+        self._pending_level = None
+        self._cancel_forming()
+        if self._serve_event is not None:
+            self._serve_event.cancel()
+            self._serve_event = None
 
     # ------------------------------------------------------------------ #
     # Failures
@@ -444,6 +587,11 @@ class Worker:
 
     def fail(self) -> list[Request]:
         """Fail the worker, returning requests that need re-dispatching."""
+        if self.state in (WorkerState.RETIRED, WorkerState.FAILED):
+            # Double-fail must not reset _failed_at_s: that would erase the
+            # downtime accumulated since the first failure.
+            return []
+        draining = self.state is WorkerState.DRAINING
         orphans: list[Request] = []
         orphans.extend(self._batch)
         self._batch = []
@@ -457,30 +605,92 @@ class Worker:
             self._serve_event.cancel()
             self._serve_event = None
         self.state = WorkerState.FAILED
+        if self.enrolled_at_s is not None:
+            self._failed_at_s = self.engine.now
         self._pending_level = None
         if self.on_requeue is not None:
             for request in orphans:
                 self.on_requeue(request)
+        if draining:
+            # The worker was on its way out anyway: finish the removal.
+            self._retire()
         return orphans
 
     def recover(self, level: ApproximationLevel | None = None) -> None:
         """Bring a failed worker back, optionally at a new level."""
         if self.state is not WorkerState.FAILED:
             return
-        self.state = WorkerState.IDLE
+        if self._failed_at_s is not None:
+            self._downtime_intervals.append((self._failed_at_s, self.engine.now))
+            self._failed_at_s = None
         self.memory.clear()
         target = level or self._level
         self._level = target
         self.memory.load(target.model_name, target.memory_gib)
+        if self.enrolled_at_s is None:
+            # The worker failed before ever entering rotation: resume
+            # provisioning.  If the provision timer already elapsed while it
+            # was down, the cluster left a deferred enrollment to run now.
+            self.state = WorkerState.PROVISIONING
+            if self._deferred_enroll is not None:
+                enroll = self._deferred_enroll
+                self._deferred_enroll = None
+                enroll()
+            return
+        self.state = WorkerState.IDLE
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def utilization(self, elapsed_s: float) -> float:
-        """Fraction of ``elapsed_s`` this worker spent serving."""
-        if elapsed_s <= 0:
+    @property
+    def downtime_s(self) -> float:
+        """Total failed time accumulated so far (open failure included)."""
+        total = sum(end - start for start, end in self._downtime_intervals)
+        if self._failed_at_s is not None:
+            total += self.engine.now - self._failed_at_s
+        return total
+
+    def enrolled_healthy_s(self, until_s: float) -> float:
+        """Time in [0, ``until_s``] spent enrolled and healthy.
+
+        The utilisation denominator: enrollment starts when the worker
+        enters the rotation (not at fleet start for late joiners), stops at
+        retirement, and excludes failed downtime.  Downtime is kept as
+        intervals so the query is correct for any ``until_s``, including
+        times before a later recovery.
+        """
+        if self.enrolled_at_s is None:
             return 0.0
-        return min(1.0, self.stats.busy_time_s / elapsed_s)
+        end = until_s if self.retired_at_s is None else min(until_s, self.retired_at_s)
+        span = end - self.enrolled_at_s
+        if span <= 0:
+            return 0.0
+        down = sum(
+            max(0.0, min(stop, end) - max(start, self.enrolled_at_s))
+            for start, stop in self._downtime_intervals
+        )
+        if self._failed_at_s is not None and self._failed_at_s < end:
+            down += end - self._failed_at_s
+        return max(0.0, span - down)
+
+    def billed_s(self, until_s: float) -> float:
+        """Billable node time in [0, ``until_s``] (provisioning and downtime
+        included: the cloud charges from allocation to release)."""
+        end = until_s if self.retired_at_s is None else min(until_s, self.retired_at_s)
+        return max(0.0, end - self.billed_from_s)
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of its enrolled-and-healthy time this worker spent serving.
+
+        Normalised by :meth:`enrolled_healthy_s`, not wall time: a worker
+        that joined late or sat failed for part of the run is judged only on
+        the time it could actually serve.  For an always-healthy worker
+        present since the start this is exactly ``busy / elapsed``.
+        """
+        denominator = self.enrolled_healthy_s(elapsed_s)
+        if denominator <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time_s / denominator)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -12,12 +12,15 @@ The pieces map one-to-one onto Fig. 3 of the paper:
 * :mod:`repro.core.scheduler` — the Prompt Scheduler and Worker Selector
   (blocks C/D/E, Eq. 3).
 * :mod:`repro.core.strategy` — the AC↔SM strategy switcher (§4.6).
+* :mod:`repro.core.autoscaler` — the closed-loop horizontal scaler built on
+  the §6 saturation signal (elastic fleet, hysteresis + debounce).
 * :mod:`repro.core.allocator` — the periodic calibration loop tying the
   solver, predictor and ODA together.
 * :mod:`repro.core.system` — :class:`ArgusSystem`, the end-to-end serving
   system (and its prompt-agnostic ablation, PAC).
 """
 
+from repro.core.autoscaler import Autoscaler, ScalingEvent
 from repro.core.config import ArgusConfig
 from repro.core.solver import AllocationPlan, AllocationSolver
 from repro.core.predictor import LoadEstimator, WorkloadDistributionPredictor
@@ -34,7 +37,9 @@ __all__ = [
     "Allocator",
     "ArgusConfig",
     "ArgusSystem",
+    "Autoscaler",
     "BaseServingSystem",
+    "ScalingEvent",
     "LoadEstimator",
     "OptimizedDistributionAligner",
     "PromptScheduler",

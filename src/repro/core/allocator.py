@@ -119,7 +119,8 @@ class Allocator:
         peak_qpm = np.array(
             [self.zoo.batched_peak_qpm(level, batch) for level in levels]
         )
-        num_healthy = len(self.cluster.healthy_workers)
+        healthy = self.cluster.healthy_workers
+        num_healthy = len(healthy)
         if num_healthy == 0:
             shift_map = ShiftMap.identity(len(levels))
             plan = AllocationPlan(
@@ -135,7 +136,17 @@ class Allocator:
             self.history.append(record)
             return record
 
-        plan = self.solver.solve(target_qpm, quality, peak_qpm, num_healthy)
+        # Heterogeneity-aware capacity model: per-worker GPU speeds replace
+        # the uniform ``num_workers x rate`` assumption.  The homogeneous
+        # fast path (all speeds 1.0) is the seed solve, bit-for-bit.
+        speeds = [w.speed_factor for w in healthy]
+        plan = self.solver.solve(
+            target_qpm,
+            quality,
+            peak_qpm,
+            num_healthy,
+            speed_factors=None if all(s == 1.0 for s in speeds) else speeds,
+        )
         load_distribution = plan.load_distribution()
 
         if self.prompt_aware:
@@ -160,8 +171,17 @@ class Allocator:
         return record
 
     def _apply_plan(self, plan: AllocationPlan, strategy: Strategy) -> None:
-        """Push the plan's worker placement to the cluster."""
-        healthy_ids = [w.worker_id for w in self.cluster.healthy_workers]
+        """Push the plan's worker placement to the cluster.
+
+        Workers are handed to the plan fastest-GPU-first so the solver's
+        heterogeneous capacity model (fastest workers on the lowest ranks)
+        matches the realised placement; on a homogeneous fleet the stable
+        sort preserves the original id order exactly.
+        """
+        ordered = sorted(
+            self.cluster.healthy_workers, key=lambda w: (-w.speed_factor, w.worker_id)
+        )
+        healthy_ids = [w.worker_id for w in ordered]
         assignment = plan.worker_assignment(healthy_ids)
         levels = self.zoo.levels(strategy)
         level_assignment = {

@@ -187,12 +187,20 @@ class BaseServingSystem(ABC):
 
     def summary(self, workload: str, duration_minutes: float) -> RunSummary:
         """Summarise the run for reporting."""
+        duration_s = duration_minutes * 60.0
+        fleet_peak, fleet_mean = self.cluster.fleet_stats(duration_s)
         return summarize(
             system=self.name,
             workload=workload,
             collector=self.collector,
             duration_minutes=duration_minutes,
-            cluster_utilization=self.cluster.utilization(duration_minutes * 60.0),
+            cluster_utilization=self.cluster.utilization(duration_s),
             model_loads=self.cluster.total_model_loads(),
             mean_batch_occupancy=self.cluster.mean_batch_occupancy(),
+            fleet_peak_workers=fleet_peak,
+            fleet_mean_workers=fleet_mean,
+            workers_added=self.cluster.workers_added,
+            workers_retired=self.cluster.workers_retired,
+            gpu_hours=self.cluster.gpu_hours(duration_s),
+            cost_usd=self.cluster.total_cost_usd(duration_s),
         )

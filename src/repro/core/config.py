@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.metrics.slo import SloPolicy
+from repro.models.gpus import gpu_by_name
 from repro.models.zoo import Strategy
 
 
@@ -46,14 +47,50 @@ class ArgusConfig:
     backlog_recalibration_min_gap_s: float = 10.0
     #: Latency SLO policy (3x the largest model by default).
     slo: SloPolicy = field(default_factory=SloPolicy)
+    # ----------------------------------------------------------------- #
+    # Elastic fleet / closed-loop autoscaler (§6 promoted to a control loop)
+    # ----------------------------------------------------------------- #
+    #: Enable horizontal scaling.  False keeps the fixed pool and is
+    #: bit-for-bit the pre-autoscaler behaviour.
+    autoscale_enabled: bool = False
+    #: Fleet-size floor for scale-in (None = the initial ``num_workers``).
+    min_workers: int | None = None
+    #: Fleet-size ceiling for scale-out (None = 4x the initial fleet).
+    max_workers: int | None = None
+    #: GPU types added on scale-out, cycled round-robin (empty = ``gpu``).
+    gpu_mix: tuple[str, ...] = ()
+    #: Node provisioning delay before a new worker's model warm-up begins.
+    provision_delay_s: float = 90.0
+    #: How often the autoscaler evaluates its signals.
+    autoscale_interval_s: float = 15.0
+    #: Demand/ceiling ratio that arms scale-out (hysteresis high side).
+    scale_up_threshold: float = 0.9
+    #: Demand vs post-removal ceiling ratio that arms scale-in (low side).
+    scale_down_threshold: float = 0.6
+    #: Consecutive overloaded ticks before scale-out fires (debounce).
+    scale_out_consecutive_ticks: int = 2
+    #: Consecutive underloaded ticks before scale-in fires (hysteresis
+    #: window = ticks x ``autoscale_interval_s``).
+    scale_in_consecutive_ticks: int = 8
+    #: Minimum spacing between scale-out actions.
+    scale_out_cooldown_s: float = 30.0
+    #: Minimum spacing between scale-in actions.
+    scale_in_cooldown_s: float = 180.0
+    #: Most workers added in one scale-out action.
+    max_scale_step: int = 2
+    #: Queued requests beyond this multiple of the cluster's backlog slack
+    #: count as scale-out pressure even before full saturation.
+    autoscale_backlog_factor: float = 2.0
     #: Number of prompts used to train / retrain the classifier.
     classifier_training_prompts: int = 2000
     #: Epochs per classifier (re)training session.
     classifier_epochs: int = 20
     #: Number of prompts used to profile per-level quality for the solver.
     profiling_prompts: int = 1000
-    #: GPU memory per worker in GiB.
-    worker_memory_gib: float = 80.0
+    #: GPU memory per worker in GiB.  None (default) gives each worker its
+    #: GPU type's native memory (80 GiB on the A100 reference, so the
+    #: homogeneous default is unchanged); set a float to override uniformly.
+    worker_memory_gib: float | None = None
     #: Largest batch a worker may serve in one GPU pass.  1 reproduces the
     #: paper's batch-size-1 serving exactly; >1 enables dynamic batching
     #: along the Fig. 14 throughput curves.
@@ -85,8 +122,40 @@ class ArgusConfig:
         if self.batch_timeout_s < 0:
             raise ValueError("batch_timeout_s must be non-negative")
         self.default_strategy = Strategy(self.default_strategy)
+        self.gpu_mix = tuple(self.gpu_mix)
+        for name in self.gpu_mix:
+            gpu_by_name(name)  # raises KeyError for unknown GPU types
+        if self.min_workers is not None and not 1 <= self.min_workers <= self.num_workers:
+            raise ValueError("min_workers must be in [1, num_workers]")
+        if self.max_workers is not None and self.max_workers < self.num_workers:
+            raise ValueError("max_workers must be >= num_workers")
+        if self.provision_delay_s < 0:
+            raise ValueError("provision_delay_s must be non-negative")
+        if self.autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be positive")
+        if not 0.0 < self.scale_down_threshold < self.scale_up_threshold:
+            raise ValueError("need 0 < scale_down_threshold < scale_up_threshold")
+        if self.scale_out_consecutive_ticks < 1 or self.scale_in_consecutive_ticks < 1:
+            raise ValueError("debounce tick counts must be >= 1")
+        if self.max_scale_step < 1:
+            raise ValueError("max_scale_step must be >= 1")
 
     @property
     def batching_enabled(self) -> bool:
         """Whether workers serve dynamic batches rather than batch-size-1."""
         return self.max_batch_size > 1
+
+    @property
+    def effective_min_workers(self) -> int:
+        """Scale-in floor (defaults to the initial fleet size)."""
+        return self.min_workers if self.min_workers is not None else self.num_workers
+
+    @property
+    def effective_max_workers(self) -> int:
+        """Scale-out ceiling (defaults to 4x the initial fleet size)."""
+        return self.max_workers if self.max_workers is not None else 4 * self.num_workers
+
+    @property
+    def effective_gpu_mix(self) -> tuple[str, ...]:
+        """GPU types cycled on scale-out (defaults to the fleet's GPU)."""
+        return self.gpu_mix or (self.gpu,)

@@ -102,11 +102,31 @@ class AllocationSolver:
         quality: np.ndarray,
         peak_qpm: np.ndarray,
         num_workers: int,
+        speed_factors: list[float] | None = None,
     ) -> AllocationPlan:
-        """Compute the quality-maximal allocation meeting ``target_qpm``."""
+        """Compute the quality-maximal allocation meeting ``target_qpm``.
+
+        ``speed_factors`` makes the capacity model heterogeneity-aware: one
+        relative GPU speed per worker (``peak_qpm`` is calibrated for speed
+        1.0).  Level ``l``'s capacity then becomes ``peak_l x sum of the
+        speeds assigned to it`` instead of ``count_l x peak_l``.  Workers
+        are assigned to levels fastest-GPU-first in rank order, matching
+        :meth:`AllocationPlan.worker_assignment` fed speed-sorted ids.  On a
+        homogeneous fleet (all speeds 1.0, or None) this is exactly the
+        uniform solve.
+        """
         quality = np.asarray(quality, dtype=np.float64)
         peak_qpm = np.asarray(peak_qpm, dtype=np.float64)
         self._validate(target_qpm, quality, peak_qpm, num_workers)
+        if speed_factors is not None:
+            if len(speed_factors) != num_workers:
+                raise ValueError("speed_factors must list one speed per worker")
+            if any(s <= 0 for s in speed_factors):
+                raise ValueError("speed factors must be positive")
+            if any(s != 1.0 for s in speed_factors):
+                return self._solve_heterogeneous(
+                    target_qpm, quality, peak_qpm, list(speed_factors)
+                )
         num_levels = len(quality)
 
         if self._num_compositions(num_workers, num_levels) <= self.enumerate_limit:
@@ -121,6 +141,57 @@ class AllocationSolver:
             feasible=feasible,
             target_qpm=float(target_qpm),
             expected_quality=expected_quality,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Heterogeneous fleets (per-worker capacity, Eq. 1 generalised)
+    # ------------------------------------------------------------------ #
+    def _solve_heterogeneous(
+        self,
+        target_qpm: float,
+        quality: np.ndarray,
+        peak_qpm: np.ndarray,
+        speed_factors: list[float],
+    ) -> AllocationPlan:
+        speeds = sorted(speed_factors, reverse=True)
+        num_workers = len(speeds)
+        num_levels = len(quality)
+        # prefix[i] = total speed of the i fastest workers, so the chunk of
+        # workers assigned to a level contributes prefix[end] - prefix[start].
+        prefix = [0.0]
+        for speed in speeds:
+            prefix.append(prefix[-1] + speed)
+
+        def level_capacities(counts: list[int]) -> list[float]:
+            capacities = []
+            start = 0
+            for level in range(num_levels):
+                end = start + counts[level]
+                capacities.append(peak_qpm[level] * (prefix[end] - prefix[start]))
+                start = end
+            return capacities
+
+        if self._num_compositions(num_workers, num_levels) <= self.enumerate_limit:
+            counts = self._enumerate_best_counts(
+                target_qpm, quality, num_workers, level_capacities
+            )
+        else:
+            # Large fleets: run the greedy upgrade heuristic in mean-speed
+            # units, then price the resulting counts with the true per-worker
+            # speeds.
+            mean_speed = sum(speeds) / num_workers
+            counts = self._best_counts_greedy(
+                target_qpm, quality, peak_qpm * mean_speed, num_workers
+            )
+        qpm_per_level, feasible = self._fill_capacity(
+            target_qpm, quality, level_capacities(counts)
+        )
+        return AllocationPlan(
+            workers_per_level=tuple(int(c) for c in counts),
+            qpm_per_level=tuple(float(q) for q in qpm_per_level),
+            feasible=feasible,
+            target_qpm=float(target_qpm),
+            expected_quality=self._expected_quality(quality, qpm_per_level),
         )
 
     # ------------------------------------------------------------------ #
@@ -255,13 +326,36 @@ class AllocationSolver:
         num_workers: int,
     ) -> list[int]:
         num_levels = len(quality)
+        return self._enumerate_best_counts(
+            target_qpm,
+            quality,
+            num_workers,
+            lambda counts: [counts[l] * peak_qpm[l] for l in range(num_levels)],
+        )
+
+    def _enumerate_best_counts(
+        self,
+        target_qpm: float,
+        quality: np.ndarray,
+        num_workers: int,
+        capacity_fn,
+    ) -> list[int]:
+        """Exhaustive search over per-level worker counts.
+
+        ``capacity_fn`` maps a counts composition to per-level capacities —
+        uniform ``count x peak`` for homogeneous fleets, speed-prefix sums
+        for heterogeneous ones — so both solve paths share one search loop.
+        """
+        num_levels = len(quality)
         best_counts: list[int] | None = None
         best_key: tuple[float, float] | None = None
         for combo in combinations_with_replacement(range(num_levels), num_workers):
             counts = [0] * num_levels
             for level in combo:
                 counts[level] += 1
-            qpm_per_level, feasible = self._fill_load(target_qpm, quality, peak_qpm, counts)
+            qpm_per_level, feasible = self._fill_capacity(
+                target_qpm, quality, capacity_fn(counts)
+            )
             expected_quality = self._expected_quality(quality, qpm_per_level)
             served = sum(qpm_per_level)
             # Prefer plans that serve the target; among those, highest quality.
@@ -316,6 +410,17 @@ class AllocationSolver:
         """Distribute the target load across levels, best quality first."""
         num_levels = len(quality)
         capacity = [counts[l] * peak_qpm[l] for l in range(num_levels)]
+        return AllocationSolver._fill_capacity(target_qpm, quality, capacity)
+
+    @staticmethod
+    def _fill_capacity(
+        target_qpm: float,
+        quality: np.ndarray,
+        capacity: list[float],
+    ) -> tuple[list[float], bool]:
+        """Distribute the target load across per-level capacities, best
+        quality first (the heterogeneity-aware core of ``_fill_load``)."""
+        num_levels = len(quality)
         total_capacity = sum(capacity)
         feasible = total_capacity + 1e-9 >= target_qpm
         remaining = min(target_qpm, total_capacity)

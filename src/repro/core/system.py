@@ -20,6 +20,7 @@ from repro.classifier.drift import DriftDetector
 from repro.classifier.trainer import ClassifierTrainer, TrainedPredictor
 from repro.cluster.requests import CompletedRequest
 from repro.core.allocator import Allocator
+from repro.core.autoscaler import Autoscaler
 from repro.core.base import BaseServingSystem, Route
 from repro.core.config import ArgusConfig
 from repro.core.scheduler import PromptScheduler
@@ -101,6 +102,16 @@ class ArgusSystem(BaseServingSystem):
             active=self.config.default_strategy,
         )
         self.drift_detector = DriftDetector()
+        #: Closed-loop horizontal scaler (§6); None keeps the fixed pool.
+        self.autoscaler: Autoscaler | None = None
+        if self.config.autoscale_enabled:
+            self.autoscaler = Autoscaler(
+                config=self.config,
+                zoo=self.zoo,
+                cluster=self.cluster,
+                allocator=self.allocator,
+                active_strategy=lambda: self.active_strategy,
+            )
         self.retraining_events = 0
         #: True while the system runs SM purely because load outgrew AC's
         #: throughput ceiling (suppresses the probe-based switch-back).
@@ -150,6 +161,8 @@ class ArgusSystem(BaseServingSystem):
     def start(self) -> None:
         """Install the periodic allocation / probing loop."""
         self.allocator.recalibrate(self.engine.now, self.active_strategy)
+        if self.autoscaler is not None:
+            self.autoscaler.install(self.engine)
 
         def tick(engine: SimulationEngine) -> None:
             was_switching = self.allocator.switching_in_progress
@@ -212,12 +225,12 @@ class ArgusSystem(BaseServingSystem):
         self._consider_load_switch(record)
 
     def _cluster_ceiling_qpm(self, strategy: Strategy) -> float:
-        """Max sustainable QPM with every healthy worker at the fastest level."""
-        return self.zoo.max_cluster_throughput_qpm(
-            strategy,
-            len(self.cluster.healthy_workers),
-            batch_size=max(1, self.cluster.max_batch_size),
-        )
+        """Max sustainable QPM with every healthy worker at the fastest level.
+
+        Heterogeneity-aware: each worker contributes its own GPU's speed (on
+        a homogeneous reference fleet this is exactly ``peak x num_workers``).
+        """
+        return self.cluster.fleet_ceiling_qpm(strategy)
 
     def _consider_load_switch(self, record) -> bool:
         """Load-driven strategy switching (the §4.6 switch, capacity edition).

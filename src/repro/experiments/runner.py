@@ -95,6 +95,11 @@ class ExperimentResult:
         """Mean relative quality per minute."""
         return [m.mean_relative_quality for m in self.minute_series]
 
+    @property
+    def fleet_size_series(self) -> list[float]:
+        """Time-weighted mean workers in rotation per minute."""
+        return [m.fleet_workers for m in self.minute_series]
+
 
 class ExperimentRunner:
     """Runs serving systems against workload traces."""
@@ -126,13 +131,17 @@ class ExperimentRunner:
         system.run(duration_s=stream.duration_s, drain_s=self.drain_s)
 
         offered = {minute: trace.qpm[minute] for minute in range(trace.duration_minutes)}
-        minute_series = system.collector.minute_series(offered=offered)
+        fleet_minutes = system.cluster.fleet_minute_series(trace.duration_minutes)
+        minute_series = system.collector.minute_series(
+            offered=offered, fleet={m.minute: m for m in fleet_minutes}
+        )
         summary = system.summary(workload=trace.name, duration_minutes=trace.duration_minutes)
         extras = {
             "cache_hit_rate": system.cache.hit_rate if system.cache is not None else None,
             # Count what was actually offered instead of len(stream), which
             # would force the lazy stream to materialise.
             "total_requests": system.collector.total_arrivals,
+            "fleet_minutes": fleet_minutes,
         }
         return ExperimentResult(
             system=system.name,

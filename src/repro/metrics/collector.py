@@ -49,6 +49,11 @@ class MinuteStats:
     pickscores: list[float] = field(default_factory=list)
     relative_qualities: list[float] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
+    #: Time-weighted mean workers in rotation this minute (0 when the run
+    #: did not attach fleet accounting).
+    fleet_workers: float = 0.0
+    #: Time-weighted mean workers per GPU type this minute.
+    fleet_by_gpu: dict[str, float] = field(default_factory=dict)
 
     @property
     def served_qpm(self) -> float:
@@ -113,17 +118,26 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     # Aggregation
     # ------------------------------------------------------------------ #
-    def minute_series(self, offered: dict[int, float] | None = None) -> list[MinuteStats]:
+    def minute_series(
+        self,
+        offered: dict[int, float] | None = None,
+        fleet: dict[int, "object"] | None = None,
+    ) -> list[MinuteStats]:
         """Per-minute statistics, sorted by minute.
 
         Args:
             offered: optional per-minute offered QPM to attach (e.g. from the
                 trace); arrivals recorded via :meth:`record_arrival` are used
                 when absent.
+            fleet: optional per-minute fleet composition to attach, mapping
+                minute -> :class:`repro.cluster.cluster.FleetMinute` (from
+                ``GpuCluster.fleet_minute_series``).
         """
         minutes = set(self._minutes) | set(self._arrivals_by_minute)
         if offered:
             minutes |= set(offered)
+        if fleet:
+            minutes |= set(fleet)
         series = []
         for minute in sorted(minutes):
             stats = self._minutes.get(minute, MinuteStats(minute=minute))
@@ -131,6 +145,9 @@ class MetricsCollector:
             stats.offered_qpm = (
                 offered.get(minute, float(stats.arrivals)) if offered else float(stats.arrivals)
             )
+            if fleet and minute in fleet:
+                stats.fleet_workers = fleet[minute].mean_workers
+                stats.fleet_by_gpu = dict(fleet[minute].by_gpu)
             series.append(stats)
         return series
 

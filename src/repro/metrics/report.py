@@ -28,6 +28,18 @@ class RunSummary:
     #: Mean requests per GPU pass over all completions (1.0 when the run
     #: served batch-size-1).
     mean_batch_occupancy: float = 1.0
+    #: Largest number of workers in rotation at any point of the run.
+    fleet_peak_workers: int = 0
+    #: Time-weighted mean workers in rotation (equals the fixed pool size
+    #: when autoscaling is off and nothing fails).
+    fleet_mean_workers: float = 0.0
+    #: Workers the autoscaler added / drained during the run.
+    workers_added: int = 0
+    workers_retired: int = 0
+    #: Billable GPU-hours across the fleet (provisioning time included).
+    gpu_hours: float = 0.0
+    #: Dollar cost of those GPU-hours at per-type list prices.
+    cost_usd: float = 0.0
 
     @property
     def goodput_fraction(self) -> float:
@@ -36,6 +48,13 @@ class RunSummary:
             return 0.0
         within_slo = self.total_completions * (1.0 - self.slo_violation_ratio)
         return within_slo / self.total_arrivals
+
+    @property
+    def cost_per_image_usd(self) -> float:
+        """Fleet cost amortised over served images (0 when nothing served)."""
+        if self.total_completions == 0:
+            return 0.0
+        return self.cost_usd / self.total_completions
 
     def as_row(self) -> dict[str, float | int | str]:
         """Flat dict convenient for printing benchmark tables."""
@@ -50,6 +69,9 @@ class RunSummary:
             "utilization": round(self.cluster_utilization, 3),
             "model_loads": self.model_loads,
             "batch_occupancy": round(self.mean_batch_occupancy, 2),
+            "fleet_peak": self.fleet_peak_workers,
+            "gpu_hours": round(self.gpu_hours, 2),
+            "cost_per_image": round(self.cost_per_image_usd, 5),
         }
 
 
@@ -61,12 +83,20 @@ def summarize(
     cluster_utilization: float = 0.0,
     model_loads: int = 0,
     mean_batch_occupancy: float = 1.0,
+    fleet_peak_workers: int = 0,
+    fleet_mean_workers: float = 0.0,
+    workers_added: int = 0,
+    workers_retired: int = 0,
+    gpu_hours: float = 0.0,
+    cost_usd: float = 0.0,
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a collector.
 
     ``mean_batch_occupancy`` is the cluster's per-pass occupancy
     (:meth:`repro.cluster.cluster.GpuCluster.mean_batch_occupancy`);
-    callers without batching can leave the batch-size-1 default.
+    callers without batching can leave the batch-size-1 default.  The fleet
+    and cost figures come from the cluster's fleet log / billing accounting;
+    callers without an elastic fleet can leave the zero defaults.
     """
     duration_minutes = max(duration_minutes, 1e-9)
     return RunSummary(
@@ -85,4 +115,10 @@ def summarize(
         cluster_utilization=cluster_utilization,
         model_loads=model_loads,
         mean_batch_occupancy=mean_batch_occupancy,
+        fleet_peak_workers=fleet_peak_workers,
+        fleet_mean_workers=fleet_mean_workers,
+        workers_added=workers_added,
+        workers_retired=workers_retired,
+        gpu_hours=gpu_hours,
+        cost_usd=cost_usd,
     )

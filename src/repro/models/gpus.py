@@ -19,6 +19,8 @@ class GpuSpec:
     hbm_bandwidth_gbps: float
     #: Relative speed factor used by the latency model; A100 is the reference.
     relative_speed: float
+    #: On-demand price of one GPU (cloud list price), for cost accounting.
+    hourly_cost_usd: float = 0.0
 
     @property
     def ridge_point(self) -> float:
@@ -33,6 +35,7 @@ GPU_SPECS: dict[str, GpuSpec] = {
         peak_fp16_tflops=312.0,
         hbm_bandwidth_gbps=2039.0,
         relative_speed=1.0,
+        hourly_cost_usd=4.10,
     ),
     "A10G": GpuSpec(
         name="A10G",
@@ -40,6 +43,7 @@ GPU_SPECS: dict[str, GpuSpec] = {
         peak_fp16_tflops=125.0,
         hbm_bandwidth_gbps=600.0,
         relative_speed=0.42,
+        hourly_cost_usd=1.21,
     ),
     "V100": GpuSpec(
         name="V100",
@@ -47,6 +51,7 @@ GPU_SPECS: dict[str, GpuSpec] = {
         peak_fp16_tflops=112.0,
         hbm_bandwidth_gbps=900.0,
         relative_speed=0.38,
+        hourly_cost_usd=3.06,
     ),
 }
 
