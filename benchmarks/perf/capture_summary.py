@@ -1,0 +1,50 @@
+"""Capture seeded fig16-style RunSummary fingerprints.
+
+Run on any revision to dump every RunSummary field (full float repr) to
+JSON; diffing two captures verifies that performance work did not change
+simulation results bit-for-bit::
+
+    PYTHONPATH=src:. python benchmarks/perf/capture_summary.py out.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+
+from benchmarks.helpers import BENCH_TRACE_MINUTES, bench_config, bench_training_dataset
+from repro.experiments.runner import ExperimentRunner, build_system
+from repro.workloads.traces import TraceLibrary
+
+
+def capture(systems=("argus", "pac"), trace_names=("twitter", "bursty")) -> dict:
+    library = TraceLibrary(seed=0)
+    traces = {
+        "twitter": library.twitter_like(duration_minutes=BENCH_TRACE_MINUTES),
+        "bursty": library.bursty(duration_minutes=BENCH_TRACE_MINUTES),
+        "sysx": library.sysx_like(duration_minutes=BENCH_TRACE_MINUTES),
+    }
+    runner = ExperimentRunner(seed=0, dataset_size=1500, drain_s=120.0)
+    training = bench_training_dataset()
+    out: dict[str, dict] = {}
+    for trace_name in trace_names:
+        for system_name in systems:
+            system = build_system(
+                system_name, config=bench_config(), training_dataset=training
+            )
+            result = runner.run(system, traces[trace_name])
+            row = {
+                key: (value.hex() if isinstance(value, float) else value)
+                for key, value in dataclasses.asdict(result.summary).items()
+            }
+            out[f"{trace_name}/{system_name}"] = row
+    return out
+
+
+if __name__ == "__main__":
+    path = sys.argv[1] if len(sys.argv) > 1 else "summary_fingerprint.json"
+    data = capture()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    print(f"wrote {len(data)} summaries to {path}")

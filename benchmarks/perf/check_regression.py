@@ -1,0 +1,66 @@
+"""Compare a fresh perf-harness run against a checked-in baseline.
+
+Speedup *ratios* (optimised vs legacy, measured in the same process) are
+compared rather than absolute wall times, so the check is stable across CI
+machines of different speeds: a real regression in an optimised path shows
+up as its measured speedup collapsing relative to the baseline's.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py current.json baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: A current speedup may be up to this factor worse than baseline before the
+#: check fails (CI noise on shared runners is real; a genuine O(n) regression
+#: collapses the ratio far more than 2x).
+TOLERANCE = 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    for name, baseline_bench in baseline.get("benchmarks", {}).items():
+        baseline_speedup = baseline_bench.get("speedup")
+        current_bench = current.get("benchmarks", {}).get(name)
+        if baseline_speedup is None or current_bench is None:
+            continue
+        current_speedup = current_bench.get("speedup", 0.0)
+        floor = baseline_speedup / args.tolerance
+        status = "ok" if current_speedup >= floor else "REGRESSION"
+        print(
+            f"{name:<28s} baseline {baseline_speedup:7.2f}x  "
+            f"current {current_speedup:7.2f}x  floor {floor:6.2f}x  {status}"
+        )
+        if current_speedup < floor:
+            failures.append(name)
+
+    for name, bench in current.get("benchmarks", {}).items():
+        if bench.get("results_match") is False:
+            print(f"{name:<28s} RESULTS MISMATCH between legacy and optimised paths")
+            failures.append(name)
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} benchmark(s) regressed: {', '.join(failures)}")
+        return 1
+    print("\nall perf checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

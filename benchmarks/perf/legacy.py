@@ -1,0 +1,404 @@
+"""Seed-faithful reference implementations of the four hot paths.
+
+These are the pre-PR-3 implementations, preserved verbatim so the perf
+harness can time "before" and "after" in the same process on the same
+machine, and so the equivalence tests can check that the optimised paths
+still produce the same observable results.  They are *not* used by the
+serving stack itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.requests import CompletedRequest
+from repro.core.solver import AllocationSolver
+from repro.metrics.collector import ServedSample
+from repro.metrics.slo import SloPolicy
+from repro.simulation.clock import Clock
+from repro.simulation.randomness import RandomStreams, stable_hash
+
+# --------------------------------------------------------------------------- #
+# 1. Vector search: per-query matrix copy + full argsort (seed vectordb)
+# --------------------------------------------------------------------------- #
+
+
+def legacy_flat_search(db, query: np.ndarray, top_k: int = 1):
+    """Seed-shaped flat search against an (optimised) VectorDatabase.
+
+    Reproduces the original cost profile: materialise the candidate index
+    array, fancy-index a copy of the whole matrix, divide by the norm
+    products and full-``argsort`` the similarities.
+    """
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    count = len(db._keys)
+    if count == 0:
+        return []
+    norms = getattr(db, "_legacy_norms", None)
+    if norms is None or len(norms) < db._capacity:
+        # Seed maintained norms incrementally at insert time; rebuilding it
+        # outside the timed region keeps the comparison fair.
+        norms = np.linalg.norm(db._matrix, axis=1)
+        norms[norms == 0] = 1.0
+        db._legacy_norms = norms
+    candidate_indices = np.arange(count)
+    matrix = db._matrix[candidate_indices]
+    norms = norms[candidate_indices]
+    query_norm = max(float(np.linalg.norm(query)), 1e-12)
+    sims = (matrix @ query) / (norms * query_norm)
+    order = np.argsort(-sims)[:top_k]
+    return [
+        (db._keys[int(candidate_indices[int(position)])], float(sims[int(position)]))
+        for position in order
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# 2. Metrics: the seed object-list collector
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class LegacyMinuteStats:
+    minute: int
+    offered_qpm: float = 0.0
+    arrivals: int = 0
+    completions: int = 0
+    slo_violations: int = 0
+    pickscores: list[float] = field(default_factory=list)
+    relative_qualities: list[float] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    fleet_workers: float = 0.0
+    fleet_by_gpu: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def served_qpm(self) -> float:
+        return float(self.completions)
+
+    @property
+    def violation_ratio(self) -> float:
+        if self.completions == 0:
+            return 0.0
+        return self.slo_violations / self.completions
+
+    @property
+    def mean_pickscore(self) -> float:
+        return float(np.mean(self.pickscores)) if self.pickscores else 0.0
+
+    @property
+    def mean_relative_quality(self) -> float:
+        return float(np.mean(self.relative_qualities)) if self.relative_qualities else 0.0
+
+
+class LegacyMetricsCollector:
+    """The seed per-request object-list collector (pre-columnar)."""
+
+    def __init__(self, slo: SloPolicy | None = None) -> None:
+        self.slo = slo or SloPolicy()
+        self.samples: list[ServedSample] = []
+        self._minutes: dict[int, LegacyMinuteStats] = {}
+        self._arrivals_by_minute: dict[int, int] = defaultdict(int)
+        self.dropped_requests = 0
+
+    def record_arrival(self, arrival_time_s: float) -> None:
+        self._arrivals_by_minute[int(arrival_time_s // 60)] += 1
+
+    def record_drop(self) -> None:
+        self.dropped_requests += 1
+
+    def record_completion(
+        self, completed: CompletedRequest, pickscore: float, best_pickscore: float
+    ) -> ServedSample:
+        sample = ServedSample(completed=completed, pickscore=pickscore, best_pickscore=best_pickscore)
+        self.samples.append(sample)
+        minute = int(completed.completion_time_s // 60)
+        stats = self._minutes.setdefault(minute, LegacyMinuteStats(minute=minute))
+        stats.completions += 1
+        stats.pickscores.append(pickscore)
+        stats.relative_qualities.append(sample.relative_quality)
+        stats.latencies.append(sample.latency_s)
+        if self.slo.is_violation(sample.latency_s):
+            stats.slo_violations += 1
+        return sample
+
+    def minute_series(self, offered=None, fleet=None) -> list[LegacyMinuteStats]:
+        minutes = set(self._minutes) | set(self._arrivals_by_minute)
+        if offered:
+            minutes |= set(offered)
+        if fleet:
+            minutes |= set(fleet)
+        series = []
+        for minute in sorted(minutes):
+            stats = self._minutes.get(minute, LegacyMinuteStats(minute=minute))
+            stats.arrivals = self._arrivals_by_minute.get(minute, 0)
+            stats.offered_qpm = (
+                offered.get(minute, float(stats.arrivals)) if offered else float(stats.arrivals)
+            )
+            if fleet and minute in fleet:
+                stats.fleet_workers = fleet[minute].mean_workers
+                stats.fleet_by_gpu = dict(fleet[minute].by_gpu)
+            series.append(stats)
+        return series
+
+    @property
+    def total_completions(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(self._arrivals_by_minute.values())
+
+    def slo_violation_ratio(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.slo.violation_ratio([s.latency_s for s in self.samples])
+
+    def effective_accuracy(self) -> float:
+        within = [s.pickscore for s in self.samples if not self.slo.is_violation(s.latency_s)]
+        return float(np.mean(within)) if within else 0.0
+
+    def mean_pickscore(self) -> float:
+        return float(np.mean([s.pickscore for s in self.samples])) if self.samples else 0.0
+
+    def mean_relative_quality(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.relative_quality for s in self.samples]))
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.percentile([s.latency_s for s in self.samples], percentile))
+
+    def relative_qualities(self) -> list[float]:
+        return [s.relative_quality for s in self.samples]
+
+
+# --------------------------------------------------------------------------- #
+# 3. Solver: scalar enumeration, no memoisation
+# --------------------------------------------------------------------------- #
+
+
+class LegacySolver(AllocationSolver):
+    """Seed solver: per-composition Python fill loop, no plan cache."""
+
+    def __init__(self, enumerate_limit: int = 5_000) -> None:
+        super().__init__(enumerate_limit=enumerate_limit, cache_size=0)
+
+    def _best_counts_enumerated(self, target_qpm, quality, peak_qpm, num_workers):
+        num_levels = len(quality)
+        return self._enumerate_best_counts_scalar(
+            target_qpm,
+            quality,
+            num_workers,
+            lambda counts: [counts[l] * peak_qpm[l] for l in range(num_levels)],
+        )
+
+
+# --------------------------------------------------------------------------- #
+# 4. Engine: order=True dataclass events, O(n) pending scan
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    time: float
+    sequence: int
+    callback: Callable = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class LegacySimulationEngine:
+    """The seed engine: heap of comparable Event dataclasses."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = Clock(start=start_time)
+        self.random = RandomStreams(seed=seed)
+        self._heap: list[LegacyEvent] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._halted = False
+
+    def schedule_at(self, time, callback, name: str = ""):
+        if time < self.clock.time:
+            raise ValueError(
+                f"cannot schedule event in the past: {time:.6f} < {self.clock.time:.6f}"
+            )
+        event = LegacyEvent(
+            time=float(time), sequence=next(self._sequence), callback=callback, name=name
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay, callback, name: str = ""):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.time + delay, callback, name=name)
+
+    def schedule_every(self, interval, callback, name: str = "", start_delay=None):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first_delay = interval if start_delay is None else start_delay
+
+        def tick(engine) -> None:
+            callback(engine)
+            engine.schedule_in(interval, tick, name=name)
+
+        self.schedule_in(first_delay, tick, name=name)
+
+    def halt(self) -> None:
+        self._halted = True
+
+    def step(self) -> bool:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback(self)
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until=None, max_events=None) -> int:
+        processed = 0
+        self._halted = False
+        while self._heap and not self._halted:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self._peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and until > self.clock.time:
+            self.clock.advance_to(until)
+        return processed
+
+    def _peek_time(self):
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    @property
+    def now(self) -> float:
+        return self.clock.time
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def rng(self, name: str):
+        return self.random.stream(name)
+
+
+# --------------------------------------------------------------------------- #
+# 5. Network + embedder scan paths
+# --------------------------------------------------------------------------- #
+
+
+def legacy_condition_at(network, time_s: float):
+    """Seed condition lookup: linear scan over every scheduled window."""
+    current = network._default
+    for window in network._windows:
+        if window.contains(time_s):
+            current = window.condition
+    return current
+
+
+def legacy_embed(embedder, prompt) -> np.ndarray:
+    """Seed embed: re-hash the full prompt text on every lookup."""
+    key = (stable_hash(prompt.text), prompt.topic)
+    if key in embedder._cache:
+        return embedder._cache[key]
+    token_vec = embedder.embed_text(prompt.text)
+    topic_vec = embedder._topic_vector(prompt.topic)
+    mixed = (1.0 - embedder.topic_weight) * token_vec + embedder.topic_weight * topic_vec
+    embedded = embedder._normalize(mixed)
+    embedder._cache[key] = embedded
+    return embedded
+
+
+def legacy_pickscore_best(model, prompt) -> float:
+    """Seed best_score: re-hash the prompt text on every lookup."""
+    key = stable_hash(prompt.text)
+    if key not in model._best_cache:
+        rng = model._prompt_rng(prompt, "best")
+        model._best_cache[key] = float(np.clip(rng.normal(21.5, 0.9), 18.5, 24.5))
+    return model._best_cache[key]
+
+
+def legacy_pickscore_tolerance(model, prompt, strategy=None):
+    from repro.models.zoo import Strategy
+
+    strategy = Strategy(strategy if strategy is not None else Strategy.AC)
+    key = (stable_hash(prompt.text), strategy)
+    if key not in model._tolerance_cache:
+        rng = model._prompt_rng(prompt, f"tolerance-{strategy.value}")
+        max_rank = model.num_levels - 1
+        permissiveness = 0.5 if strategy is Strategy.AC else 0.0
+        raw = (1.0 - prompt.complexity) * max_rank + permissiveness
+        noisy = raw + rng.normal(0.0, model.tolerance_noise)
+        model._tolerance_cache[key] = int(np.clip(round(noisy), 0, max_rank))
+    return model._tolerance_cache[key]
+
+
+def legacy_pickscore_score(model, prompt, strategy, rank) -> float:
+    """Seed score: per-call text hashing and scalar np.clip dispatch."""
+    from repro.models.zoo import Strategy
+
+    strategy = Strategy(strategy)
+    if rank < 0 or rank >= model.num_levels:
+        raise ValueError(f"rank {rank} outside [0, {model.num_levels - 1}]")
+    key = (stable_hash(prompt.text), strategy, rank)
+    if key in model._score_cache:
+        return model._score_cache[key]
+    best = legacy_pickscore_best(model, prompt)
+    tolerance = legacy_pickscore_tolerance(model, prompt, strategy)
+    rng = model._prompt_rng(prompt, f"score-{strategy.value}-{rank}")
+    if rank <= tolerance:
+        factor = 0.955 + (1.0 - 0.955) * rng.random()
+        score = best * factor
+    else:
+        gap = rank - tolerance
+        degradation = 0.055 * gap ** 1.3
+        jitter = rng.normal(0.0, 0.01)
+        factor = np.clip(0.9 - degradation + jitter, 0.45, 0.9)
+        score = best * float(factor)
+    model._score_cache[key] = float(score)
+    return float(score)
+
+
+def legacy_featurize(featurizer, prompt) -> np.ndarray:
+    """Seed featurize: recompute the full feature vector on every call."""
+    from repro.prompts.generator import Prompt
+
+    text = prompt.text if isinstance(prompt, Prompt) else str(prompt)
+    structural = featurizer._structural_features(text)
+    if featurizer.hashed_dim == 0:
+        return structural
+    hashed = featurizer._hashed_features(text)
+    return np.concatenate([structural, hashed])
+
+
+def legacy_sample_target(shift_map, affinity_rank, rng) -> int:
+    """Seed PASM sampling: ``Generator.choice`` re-derives the CDF per call."""
+    row = shift_map.matrix[affinity_rank]
+    return int(rng.choice(len(row), p=row / row.sum()))

@@ -122,15 +122,8 @@ class ApproximateCache:
     # ------------------------------------------------------------------ #
     # Write-back path
     # ------------------------------------------------------------------ #
-    def store_states(self, prompt: Prompt) -> None:
-        """Record the intermediate states produced while serving ``prompt``.
-
-        Re-serving a prompt that is already cached is a no-op so the vector
-        index does not accumulate duplicates.
-        """
-        if self.store.peek(prompt.prompt_id) is not None:
-            return
-        embedding = self.embedder.embed(prompt)
+    def _store_embedded(self, prompt: Prompt, embedding) -> None:
+        """Index one prompt's embedding and record its noise states."""
         self.vectordb.upsert(embedding, payload={"prompt_id": prompt.prompt_id})
         self.store.put(
             StoredState(
@@ -140,10 +133,35 @@ class ApproximateCache:
             )
         )
 
+    def store_states(self, prompt: Prompt) -> None:
+        """Record the intermediate states produced while serving ``prompt``.
+
+        Re-serving a prompt that is already cached is a no-op so the vector
+        index does not accumulate duplicates.
+        """
+        if self.store.peek(prompt.prompt_id) is not None:
+            return
+        self._store_embedded(prompt, self.embedder.embed(prompt))
+
     def warm(self, prompts: list[Prompt]) -> None:
-        """Pre-populate the cache with a prompt history."""
+        """Pre-populate the cache with a prompt history.
+
+        Embeddings are computed through the embedder's vectorized batch
+        path; already-cached prompts (and duplicates within the batch) are
+        skipped exactly as per-prompt :meth:`store_states` calls would.
+        """
+        fresh: list[Prompt] = []
+        seen: set[int] = set()
         for prompt in prompts:
-            self.store_states(prompt)
+            if prompt.prompt_id in seen or self.store.peek(prompt.prompt_id) is not None:
+                continue
+            seen.add(prompt.prompt_id)
+            fresh.append(prompt)
+        if not fresh:
+            return
+        embeddings = self.embedder.embed_batch(fresh)
+        for prompt, embedding in zip(fresh, embeddings):
+            self._store_embedded(prompt, embedding)
 
     # ------------------------------------------------------------------ #
     # Monitoring

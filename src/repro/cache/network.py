@@ -8,6 +8,7 @@ retrieval latency and switches strategy when it degrades.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from enum import Enum
 
@@ -51,6 +52,12 @@ class NetworkModel:
         self.jitter_fraction = float(jitter_fraction)
         self._windows: list[ConditionWindow] = []
         self._default = NetworkCondition.HEALTHY
+        # Flattened timeline: segment start times (sorted) and the condition
+        # in force from each start up to the next.  Rebuilt lazily after a
+        # schedule change so per-request lookups are a single bisect instead
+        # of a scan over every window.
+        self._segment_starts: list[float] | None = None
+        self._segment_conditions: list[NetworkCondition] = []
 
     # ------------------------------------------------------------------ #
     # Condition scheduling
@@ -58,6 +65,7 @@ class NetworkModel:
     def set_default_condition(self, condition: NetworkCondition) -> None:
         """Condition in effect outside every scheduled window."""
         self._default = NetworkCondition(condition)
+        self._segment_starts = None
 
     def schedule_condition(
         self, start_s: float, end_s: float, condition: NetworkCondition
@@ -66,17 +74,40 @@ class NetworkModel:
         if end_s <= start_s:
             raise ValueError("window end must be after start")
         self._windows.append(ConditionWindow(start_s, end_s, NetworkCondition(condition)))
+        self._segment_starts = None
+
+    def _rebuild_segments(self) -> None:
+        """Flatten the window list into disjoint segments.
+
+        Each window boundary starts a new segment; a segment's condition is
+        decided by replaying the windows in scheduling order (later windows
+        win on overlap), so lookups agree exactly with a linear scan.
+        """
+        boundaries = sorted(
+            {window.start_s for window in self._windows}
+            | {window.end_s for window in self._windows}
+        )
+        self._segment_starts = boundaries
+        self._segment_conditions = []
+        for start in boundaries:
+            condition = self._default
+            for window in self._windows:
+                if window.contains(start):
+                    condition = window.condition
+            self._segment_conditions.append(condition)
 
     def condition_at(self, time_s: float) -> NetworkCondition:
         """The network condition in effect at ``time_s``.
 
         Later-scheduled windows take precedence when windows overlap.
+        O(log windows) via bisect over the flattened segment timeline.
         """
-        current = self._default
-        for window in self._windows:
-            if window.contains(time_s):
-                current = window.condition
-        return current
+        if self._segment_starts is None:
+            self._rebuild_segments()
+        index = bisect_right(self._segment_starts, time_s) - 1
+        if index < 0:
+            return self._default
+        return self._segment_conditions[index]
 
     # ------------------------------------------------------------------ #
     # Latency sampling

@@ -75,9 +75,26 @@ class ShiftMap:
         return float(self.matrix[affinity_rank, target_rank])
 
     def sample_target(self, affinity_rank: int, rng: np.random.Generator) -> int:
-        """Draw a target level for one prompt with the given affinity."""
-        row = self.matrix[affinity_rank]
-        return int(rng.choice(len(row), p=row / row.sum()))
+        """Draw a target level for one prompt with the given affinity.
+
+        Inverse-CDF sampling with the per-row CDF cached on the map: this
+        runs once per routed request, and ``Generator.choice`` re-derives
+        the CDF (and re-validates ``p``) on every call.  The draw consumes
+        one uniform exactly like ``choice`` does, so the sampled stream is
+        unchanged.
+        """
+        cdfs = self.__dict__.get("_row_cdfs")
+        if cdfs is None:
+            cdfs = {}
+            self.__dict__["_row_cdfs"] = cdfs
+        cdf = cdfs.get(affinity_rank)
+        if cdf is None:
+            row = self.matrix[affinity_rank]
+            p = row / row.sum()
+            cdf = p.cumsum()
+            cdf /= cdf[-1]
+            cdfs[affinity_rank] = cdf
+        return int(cdf.searchsorted(rng.random(), side="right"))
 
     def resulting_distribution(self, affinity_distribution: np.ndarray) -> np.ndarray:
         """The level distribution realised when ``affinity_distribution`` is

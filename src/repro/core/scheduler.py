@@ -112,7 +112,7 @@ class PromptScheduler:
         if self._predictor is None:
             return 0
         rank = self._predictor.predict_rank(prompt)
-        return int(np.clip(rank, 0, self.num_levels - 1))
+        return int(min(max(rank, 0), self.num_levels - 1))
 
     def route(self, prompt: Prompt) -> RoutingDecision | None:
         """Route one prompt; returns None when no healthy worker exists."""

@@ -18,12 +18,34 @@ Two equivalent solvers are provided:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations_with_replacement
 
 import numpy as np
 
 from repro.ilp import BranchAndBoundSolver, IlpProblem
+
+
+@lru_cache(maxsize=64)
+def _compositions_matrix(num_workers: int, num_levels: int) -> np.ndarray:
+    """All per-level worker-count compositions, one row per composition.
+
+    Rows follow ``combinations_with_replacement`` order so vectorized and
+    scalar enumeration agree on tie-breaking (first composition wins).
+    """
+    rows = np.zeros(
+        (AllocationSolver._num_compositions(num_workers, num_levels), num_levels),
+        dtype=np.int64,
+    )
+    for row, combo in enumerate(
+        combinations_with_replacement(range(num_levels), num_workers)
+    ):
+        for level in combo:
+            rows[row, level] += 1
+    rows.setflags(write=False)
+    return rows
 
 
 @dataclass(frozen=True)
@@ -85,13 +107,38 @@ class AllocationPlan:
 class AllocationSolver:
     """Solves the per-minute load-allocation problem."""
 
-    def __init__(self, enumerate_limit: int = 5_000) -> None:
+    def __init__(
+        self,
+        enumerate_limit: int = 5_000,
+        cache_size: int = 512,
+        cache_quantum_qpm: float = 0.0,
+    ) -> None:
         #: Maximum number of worker-count compositions to enumerate before
         #: falling back to the greedy solver.  The default covers the paper's
         #: 8-worker cluster exactly (1287 compositions) and keeps the solve
         #: comfortably under the 100 ms budget for larger clusters, where the
         #: greedy upgrade heuristic takes over.
         self.enumerate_limit = int(enumerate_limit)
+        #: Memoisation of :meth:`solve` on a (target-bucket, profile
+        #: signature, fleet signature) key, so per-tick recalibrations and
+        #: autoscaler what-if probes stop re-running the composition
+        #: enumeration when nothing changed.  Any change to the quality /
+        #: peak profiles, worker count or per-worker speeds changes the key,
+        #: which is how invalidation happens.
+        self.cache_size = int(cache_size)
+        #: Optional target-QPM bucketing for the cache key.  0 (default)
+        #: caches on the exact target only, which is hit-for-hit identical
+        #: to an uncached solver.  A positive quantum rounds the target UP
+        #: to the next multiple before solving, trading a slightly
+        #: conservative plan for far more cache hits under drifting load.
+        self.cache_quantum_qpm = float(cache_quantum_qpm)
+        self._cache: OrderedDict[tuple, AllocationPlan] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def clear_cache(self) -> None:
+        """Drop all memoised plans (profiling / test hook)."""
+        self._cache.clear()
 
     # ------------------------------------------------------------------ #
     # Default solver: exact enumeration with greedy fallback
@@ -123,10 +170,32 @@ class AllocationSolver:
                 raise ValueError("speed_factors must list one speed per worker")
             if any(s <= 0 for s in speed_factors):
                 raise ValueError("speed factors must be positive")
-            if any(s != 1.0 for s in speed_factors):
-                return self._solve_heterogeneous(
-                    target_qpm, quality, peak_qpm, list(speed_factors)
-                )
+            if all(s == 1.0 for s in speed_factors):
+                speed_factors = None
+
+        if self.cache_quantum_qpm > 0:
+            quantum = self.cache_quantum_qpm
+            target_qpm = float(np.ceil(target_qpm / quantum) * quantum)
+        key = (
+            float(target_qpm),
+            quality.tobytes(),
+            peak_qpm.tobytes(),
+            int(num_workers),
+            None if speed_factors is None else tuple(speed_factors),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+
+        if speed_factors is not None:
+            plan = self._solve_heterogeneous(
+                target_qpm, quality, peak_qpm, list(speed_factors)
+            )
+            self._cache_store(key, plan)
+            return plan
         num_levels = len(quality)
 
         if self._num_compositions(num_workers, num_levels) <= self.enumerate_limit:
@@ -135,13 +204,20 @@ class AllocationSolver:
             counts = self._best_counts_greedy(target_qpm, quality, peak_qpm, num_workers)
         qpm_per_level, feasible = self._fill_load(target_qpm, quality, peak_qpm, counts)
         expected_quality = self._expected_quality(quality, qpm_per_level)
-        return AllocationPlan(
+        plan = AllocationPlan(
             workers_per_level=tuple(int(c) for c in counts),
             qpm_per_level=tuple(float(q) for q in qpm_per_level),
             feasible=feasible,
             target_qpm=float(target_qpm),
             expected_quality=expected_quality,
         )
+        self._cache_store(key, plan)
+        return plan
+
+    def _cache_store(self, key: tuple, plan: AllocationPlan) -> None:
+        self._cache[key] = plan
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------ #
     # Heterogeneous fleets (per-worker capacity, Eq. 1 generalised)
@@ -172,9 +248,13 @@ class AllocationSolver:
             return capacities
 
         if self._num_compositions(num_workers, num_levels) <= self.enumerate_limit:
-            counts = self._enumerate_best_counts(
-                target_qpm, quality, num_workers, level_capacities
-            )
+            compositions = _compositions_matrix(num_workers, num_levels)
+            prefix_arr = np.asarray(prefix, dtype=np.float64)
+            cum = np.cumsum(compositions, axis=1)
+            start = cum - compositions
+            cap_matrix = np.asarray(peak_qpm) * (prefix_arr[cum] - prefix_arr[start])
+            best_row = self._best_composition_vectorized(target_qpm, quality, cap_matrix)
+            counts = [int(c) for c in compositions[best_row]]
         else:
             # Large fleets: run the greedy upgrade heuristic in mean-speed
             # units, then price the resulting counts with the true per-worker
@@ -325,26 +405,83 @@ class AllocationSolver:
         peak_qpm: np.ndarray,
         num_workers: int,
     ) -> list[int]:
-        num_levels = len(quality)
-        return self._enumerate_best_counts(
-            target_qpm,
-            quality,
-            num_workers,
-            lambda counts: [counts[l] * peak_qpm[l] for l in range(num_levels)],
-        )
+        compositions = _compositions_matrix(num_workers, len(quality))
+        cap_matrix = compositions * np.asarray(peak_qpm, dtype=np.float64)
+        best_row = self._best_composition_vectorized(target_qpm, quality, cap_matrix)
+        return [int(c) for c in compositions[best_row]]
 
-    def _enumerate_best_counts(
+    @staticmethod
+    def _best_composition_vectorized(
+        target_qpm: float, quality: np.ndarray, cap_matrix: np.ndarray
+    ) -> int:
+        """Row of ``cap_matrix`` with the best (served, quality) key.
+
+        Vectorized form of the exhaustive composition search: the greedy
+        best-quality-first fill runs once per *level* over all compositions
+        at once instead of once per composition.  Arithmetic is ordered to
+        match the scalar ``_fill_capacity`` / ``_expected_quality`` pass
+        exactly (sequential level accumulation, identical guard epsilons),
+        and ties keep the first composition, so the selected row is the one
+        the scalar loop would pick.
+        """
+        num_comps, num_levels = cap_matrix.shape
+        total = np.zeros(num_comps)
+        for level in range(num_levels):
+            total = total + cap_matrix[:, level]
+        feasible = total + 1e-9 >= target_qpm
+        remaining = np.minimum(target_qpm, total)
+        served = np.zeros(num_comps)
+        quality_acc = np.zeros(num_comps)
+        fill_order = sorted(range(num_levels), key=lambda l: -quality[l])
+        takes = np.zeros((num_comps, num_levels))
+        for position, level in enumerate(fill_order):
+            take = np.minimum(remaining, cap_matrix[:, level])
+            if position:
+                # The scalar loop stops filling once remaining <= 1e-12.
+                take = np.where(remaining > 1e-12, take, 0.0)
+            takes[:, level] = take
+            remaining = remaining - take
+        for level in range(num_levels):
+            served = served + takes[:, level]
+        safe_served = np.where(served > 0, served, 1.0)
+        for level in range(num_levels):
+            quality_acc = quality_acc + quality[level] * (takes[:, level] / safe_served)
+        quality_acc = np.where(served > 0, quality_acc, 0.0)
+        # Prefer plans that serve the target; among those, highest quality;
+        # exact ties keep the lowest row (== first enumeration order).  The
+        # served accumulation above is bit-identical to the scalar pass, but
+        # the quality accumulation order is not, so near-ties are re-scored
+        # with the exact scalar formula before deciding.
+        primary = np.where(feasible, target_qpm, served)
+        best_primary = primary.max()
+        candidates = primary == best_primary
+        best_quality = quality_acc[candidates].max()
+        scale = max(abs(float(best_quality)), 1.0)
+        near = candidates & (quality_acc >= best_quality - 1e-9 * scale)
+        rows = np.flatnonzero(near)
+        if len(rows) == 1:
+            return int(rows[0])
+        best_row = int(rows[0])
+        best_exact: float | None = None
+        for row in rows:
+            exact = AllocationSolver._expected_quality(quality, list(takes[row]))
+            if best_exact is None or exact > best_exact:
+                best_exact = exact
+                best_row = int(row)
+        return best_row
+
+    def _enumerate_best_counts_scalar(
         self,
         target_qpm: float,
         quality: np.ndarray,
         num_workers: int,
         capacity_fn,
     ) -> list[int]:
-        """Exhaustive search over per-level worker counts.
+        """Reference scalar form of the composition search.
 
-        ``capacity_fn`` maps a counts composition to per-level capacities —
-        uniform ``count x peak`` for homogeneous fleets, speed-prefix sums
-        for heterogeneous ones — so both solve paths share one search loop.
+        Kept (unused on the hot path) so the equivalence tests and the perf
+        harness can check and time the vectorized search against the
+        original per-composition loop.
         """
         num_levels = len(quality)
         best_counts: list[int] | None = None
@@ -373,27 +510,37 @@ class AllocationSolver:
         peak_qpm: np.ndarray,
         num_workers: int,
     ) -> list[int]:
-        """Greedy for large clusters: start slow, upgrade until feasible."""
+        """Greedy for large clusters: start slow, upgrade until feasible.
+
+        Capacity is maintained incrementally — each upgrade moves one worker
+        between two levels, so the fleet capacity changes by exactly the
+        peak-throughput delta.  O(1) per upgrade instead of the O(levels)
+        full recomputation per iteration.
+        """
         num_levels = len(quality)
         counts = [0] * num_levels
         counts[0] = num_workers
         levels_by_speed = np.argsort(peak_qpm)  # slowest first
+        # Next strictly faster level for each level (lowest peak among the
+        # faster ones, first index on ties); None at the fastest levels.
+        next_faster: list[int | None] = []
+        for level in range(num_levels):
+            faster = [l for l in range(num_levels) if peak_qpm[l] > peak_qpm[level]]
+            next_faster.append(min(faster, key=lambda l: peak_qpm[l]) if faster else None)
 
-        def capacity(c: list[int]) -> float:
-            return float(sum(c[l] * peak_qpm[l] for l in range(num_levels)))
-
-        while capacity(counts) < target_qpm:
+        capacity = float(num_workers * peak_qpm[0])
+        while capacity < target_qpm:
             upgraded = False
             # Upgrade one worker from the slowest occupied level to the next
             # faster level (smallest quality sacrifice per capacity gained).
             for level in levels_by_speed:
                 if counts[level] > 0:
-                    faster = [l for l in range(num_levels) if peak_qpm[l] > peak_qpm[level]]
-                    if not faster:
+                    next_level = next_faster[level]
+                    if next_level is None:
                         continue
-                    next_level = min(faster, key=lambda l: peak_qpm[l])
                     counts[level] -= 1
                     counts[next_level] += 1
+                    capacity += float(peak_qpm[next_level] - peak_qpm[level])
                     upgraded = True
                     break
             if not upgraded:

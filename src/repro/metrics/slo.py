@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.models.variants import SM_VARIANTS
 
 
@@ -34,9 +36,18 @@ class SloPolicy:
         """Whether a request's latency violates the SLO."""
         return latency_s > self.budget_s
 
+    def violation_mask(self, latencies_s) -> "np.ndarray":
+        """Vectorized :meth:`is_violation` over an array of latencies.
+
+        This is the single source of the violation predicate for columnar
+        consumers (the metrics collector); it must stay in lockstep with
+        the scalar form above.
+        """
+        return np.asarray(latencies_s) > self.budget_s
+
     def violation_ratio(self, latencies_s: list[float]) -> float:
         """Fraction of requests whose latency violates the SLO."""
         if not latencies_s:
             return 0.0
-        violations = sum(1 for latency in latencies_s if self.is_violation(latency))
+        violations = int(np.count_nonzero(self.violation_mask(latencies_s)))
         return violations / len(latencies_s)

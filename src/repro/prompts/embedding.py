@@ -39,22 +39,51 @@ class PromptEmbedder:
         return self._normalize(vector)
 
     def embed(self, prompt: Prompt) -> np.ndarray:
-        """Embed a structured prompt, mixing token and topic components."""
-        key = (stable_hash(prompt.text), prompt.topic)
-        if key in self._cache:
-            return self._cache[key]
-        token_vec = self.embed_text(prompt.text)
-        topic_vec = self._topic_vector(prompt.topic)
-        mixed = (1.0 - self.topic_weight) * token_vec + self.topic_weight * topic_vec
-        embedded = self._normalize(mixed)
+        """Embed a structured prompt, mixing token and topic components.
+
+        The cache key reuses the hash memoised on the prompt object, so a
+        repeat lookup costs two dict probes instead of re-hashing the whole
+        prompt text on every retrieval / write-back.
+        """
+        key = (prompt.content_hash(), prompt.topic)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        embedded = self._embed_uncached(prompt)
         self._cache[key] = embedded
         return embedded
 
+    def _embed_uncached(self, prompt: Prompt) -> np.ndarray:
+        token_vec = self.embed_text(prompt.text)
+        topic_vec = self._topic_vector(prompt.topic)
+        mixed = (1.0 - self.topic_weight) * token_vec + self.topic_weight * topic_vec
+        return self._normalize(mixed)
+
     def embed_batch(self, prompts: list[Prompt]) -> np.ndarray:
-        """Embed a list of prompts into an (n, dim) matrix."""
+        """Embed a list of prompts into an (n, dim) matrix.
+
+        Vectorized path used by cache warming: uncached prompts are mixed
+        against the topic matrix in one batched operation (tokenisation is
+        inherently per-prompt), then normalised row-wise with the same
+        scalar norm the single-prompt path uses so both paths produce
+        bit-identical vectors.
+        """
         if not prompts:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.stack([self.embed(p) for p in prompts])
+        keys = [(p.content_hash(), p.topic) for p in prompts]
+        missing: dict[tuple[int, int], int] = {}
+        fresh_prompts: list[Prompt] = []
+        for key, prompt in zip(keys, prompts):
+            if key not in self._cache and key not in missing:
+                missing[key] = len(fresh_prompts)
+                fresh_prompts.append(prompt)
+        if fresh_prompts:
+            token_matrix = np.stack([self.embed_text(p.text) for p in fresh_prompts])
+            topic_matrix = np.stack([self._topic_vector(p.topic) for p in fresh_prompts])
+            mixed = (1.0 - self.topic_weight) * token_matrix + self.topic_weight * topic_matrix
+            for key, row in zip(missing, mixed):
+                self._cache[key] = self._normalize(row)
+        return np.stack([self._cache[key] for key in keys])
 
     def _topic_vector(self, topic: int) -> np.ndarray:
         if topic not in self._topic_cache:

@@ -9,6 +9,8 @@ sparsity and lets property tests exercise larger feature spaces.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.prompts.generator import Prompt
@@ -30,10 +32,20 @@ class PromptFeaturizer:
         "num_style_tags_hint",
     )
 
+    #: Bound on the memoisation cache: repeated-prompt workloads fit easily,
+    #: while a stream of millions of unique prompts cannot grow it without
+    #: limit (~30 MiB retained at this cap).
+    CACHE_MAX_ENTRIES = 65_536
+
     def __init__(self, hashed_dim: int = 48) -> None:
         if hashed_dim < 0:
             raise ValueError("hashed_dim must be non-negative")
         self.hashed_dim = int(hashed_dim)
+        # Featurisation is deterministic per prompt text; the serving loop
+        # featurises the same prompt on every routing decision, so memoise
+        # per prompt hash (LRU-bounded).  Cached vectors are frozen to keep
+        # accidental in-place mutation from corrupting later lookups.
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
 
     @property
     def dim(self) -> int:
@@ -45,12 +57,24 @@ class PromptFeaturizer:
     # ------------------------------------------------------------------ #
     def featurize(self, prompt: Prompt | str) -> np.ndarray:
         """Feature vector for a single prompt (or raw text)."""
+        key = prompt.content_hash() if isinstance(prompt, Prompt) else None
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached
         text = prompt.text if isinstance(prompt, Prompt) else str(prompt)
         structural = self._structural_features(text)
         if self.hashed_dim == 0:
-            return structural
-        hashed = self._hashed_features(text)
-        return np.concatenate([structural, hashed])
+            features = structural
+        else:
+            features = np.concatenate([structural, self._hashed_features(text)])
+        if key is not None:
+            features.setflags(write=False)
+            self._cache[key] = features
+            if len(self._cache) > self.CACHE_MAX_ENTRIES:
+                self._cache.popitem(last=False)
+        return features
 
     def featurize_batch(self, prompts: list[Prompt | str]) -> np.ndarray:
         """Feature matrix of shape (n, dim)."""

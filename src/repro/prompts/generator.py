@@ -10,6 +10,7 @@ model later reproduces the paper's Observation 1 and Fig. 8 distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -77,9 +78,17 @@ class Prompt:
         """Whitespace token count of the prompt text."""
         return len(self.text.split())
 
-    def content_hash(self) -> int:
-        """Stable hash of the prompt text."""
+    @cached_property
+    def _content_hash(self) -> int:
+        # cached_property writes straight into __dict__, which frozen
+        # dataclasses permit; repeated cache-key computations (one per
+        # embedding lookup) then cost a dict hit instead of re-hashing the
+        # whole prompt text.
         return stable_hash(self.text)
+
+    def content_hash(self) -> int:
+        """Stable hash of the prompt text (memoised per prompt object)."""
+        return self._content_hash
 
 
 class PromptGenerator:

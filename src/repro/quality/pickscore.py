@@ -89,7 +89,7 @@ class PickScoreModel:
 
     def best_score(self, prompt: Prompt) -> float:
         """PickScore of the best (least approximate) generation for a prompt."""
-        key = stable_hash(prompt.text)
+        key = prompt.content_hash()
         if key not in self._best_cache:
             rng = self._prompt_rng(prompt, "best")
             self._best_cache[key] = float(
@@ -106,14 +106,16 @@ class PickScoreModel:
         Pareto frontier (Fig. 13).
         """
         strategy = Strategy(strategy)
-        key = (stable_hash(prompt.text), strategy)
+        key = (prompt.content_hash(), strategy)
         if key not in self._tolerance_cache:
             rng = self._prompt_rng(prompt, f"tolerance-{strategy.value}")
             max_rank = self.num_levels - 1
             permissiveness = 0.5 if strategy is Strategy.AC else 0.0
             raw = (1.0 - prompt.complexity) * max_rank + permissiveness
             noisy = raw + rng.normal(0.0, self.tolerance_noise)
-            self._tolerance_cache[key] = int(np.clip(round(noisy), 0, max_rank))
+            # Scalar min/max rather than np.clip: same value, none of the
+            # ufunc dispatch overhead on this per-prompt hot path.
+            self._tolerance_cache[key] = int(min(max(round(noisy), 0), max_rank))
         return self._tolerance_cache[key]
 
     # ------------------------------------------------------------------ #
@@ -124,7 +126,7 @@ class PickScoreModel:
         strategy = Strategy(strategy)
         if rank < 0 or rank >= self.num_levels:
             raise ValueError(f"rank {rank} outside [0, {self.num_levels - 1}]")
-        key = (stable_hash(prompt.text), strategy, rank)
+        key = (prompt.content_hash(), strategy, rank)
         if key in self._score_cache:
             return self._score_cache[key]
         best = self.best_score(prompt)
@@ -137,7 +139,7 @@ class PickScoreModel:
             gap = rank - tolerance
             degradation = _DEGRADATION_PER_GAP * gap ** _DEGRADATION_EXPONENT
             jitter = rng.normal(0.0, 0.01)
-            factor = np.clip(0.9 - degradation + jitter, 0.45, 0.9)
+            factor = min(max(0.9 - degradation + jitter, 0.45), 0.9)
             score = best * float(factor)
         self._score_cache[key] = float(score)
         return float(score)

@@ -1,40 +1,60 @@
 """The discrete-event simulation core.
 
-The engine keeps a priority queue of :class:`Event` objects ordered by
-simulated time.  Running the engine repeatedly pops the earliest event,
-advances the clock to its timestamp and invokes its callback.  Callbacks may
-schedule further events.  Ties are broken by insertion order so runs are
-fully deterministic.
+The engine keeps a priority queue of ``(time, sequence, event)`` tuples
+ordered by simulated time.  Running the engine repeatedly pops the earliest
+entry, advances the clock to its timestamp and invokes its callback.
+Callbacks may schedule further events.  Ties are broken by insertion order
+(the unique sequence number — the :class:`Event` handle itself is never
+compared) so runs are fully deterministic.
+
+Plain tuples keep the heap hot path cheap at 10^6+ events: tuple comparison
+is a C-level ``(float, int)`` compare, where the previous ``order=True``
+dataclass dispatched ``__lt__`` through Python per sift step.  The
+:class:`Event` handle is a ``__slots__`` object used only for cancellation
+and introspection.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.simulation.clock import Clock
 from repro.simulation.randomness import RandomStreams
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (handle returned by the ``schedule_*`` family)."""
 
-    Events compare by ``(time, sequence)`` so the heap yields them in
-    chronological order with stable tie-breaking.
-    """
+    __slots__ = ("time", "sequence", "callback", "name", "cancelled", "executed", "_engine")
 
-    time: float
-    sequence: int
-    callback: Callable[["SimulationEngine"], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[["SimulationEngine"], None],
+        name: str = "",
+        engine: "SimulationEngine | None" = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self.executed = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the engine skips it when popped.
+
+        Cancelling a handle whose event already ran is a harmless no-op
+        (it must not disturb the engine's live-event counter).
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.executed and self._engine is not None:
+                self._engine._live_events -= 1
 
 
 class SimulationEngine:
@@ -43,10 +63,13 @@ class SimulationEngine:
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self.clock = Clock(start=start_time)
         self.random = RandomStreams(seed=seed)
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._halted = False
+        #: Scheduled-and-not-yet-cancelled events (kept live so
+        #: :attr:`pending_events` is O(1) instead of a heap scan).
+        self._live_events = 0
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -62,8 +85,11 @@ class SimulationEngine:
             raise ValueError(
                 f"cannot schedule event in the past: {time:.6f} < {self.clock.time:.6f}"
             )
-        event = Event(time=float(time), sequence=next(self._sequence), callback=callback, name=name)
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        sequence = next(self._sequence)
+        event = Event(time, sequence, callback, name, engine=self)
+        heapq.heappush(self._heap, (time, sequence, event))
+        self._live_events += 1
         return event
 
     def schedule_in(
@@ -105,10 +131,12 @@ class SimulationEngine:
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self.clock.advance_to(event.time)
+            event.executed = True
+            self._live_events -= 1
+            self.clock.advance_to(time)
             event.callback(self)
             self._events_processed += 1
             return True
@@ -141,11 +169,11 @@ class SimulationEngine:
         return processed
 
     def _peek_time(self) -> float | None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -157,8 +185,8 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-cancelled events.  O(1)."""
+        return self._live_events
 
     @property
     def events_processed(self) -> int:

@@ -364,7 +364,7 @@ class TestLazyArrivals:
         max_pending_arrivals = 0
         while True:
             pending = sum(
-                1 for e in engine._heap if e.name == "arrival" and not e.cancelled
+                1 for _, _, e in engine._heap if e.name == "arrival" and not e.cancelled
             )
             max_pending_arrivals = max(max_pending_arrivals, pending)
             if not engine.step():

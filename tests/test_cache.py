@@ -75,7 +75,7 @@ class TestVectorDatabase:
 
     def test_invalid_index_type(self):
         with pytest.raises(ValueError):
-            VectorDatabase(dim=8, index_type="hnsw")
+            VectorDatabase(dim=8, index_type="annoy")
 
     def test_ivf_recall_close_to_flat(self):
         vectors = self._random_vectors(600, dim=24, seed=3)
