@@ -27,9 +27,19 @@ from repro.experiments.runner import (
     compare_systems,
 )
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
+from repro.metrics.report import RunSummary, ScenarioReport
 from repro.prompts.dataset import PromptDataset
 from repro.quality.optimal import OptimalModelSelector
 from repro.quality.pickscore import PickScoreModel
+from repro.scenarios import (
+    Scenario,
+    ScenarioRun,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario_names,
+)
+from repro.workloads.shapes import build_shape
 from repro.workloads.traces import TraceLibrary, WorkloadTrace
 
 __version__ = "1.0.0"
@@ -48,12 +58,21 @@ __all__ = [
     "OptimizedDistributionAligner",
     "PickScoreModel",
     "PromptDataset",
+    "RunSummary",
     "ScalingEvent",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRun",
     "ShiftMap",
     "Strategy",
     "TraceLibrary",
     "WorkloadTrace",
+    "build_shape",
     "build_system",
     "compare_systems",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

@@ -48,8 +48,8 @@ class NirvanaSystem(BaseServingSystem):
         self._rng = np.random.default_rng(self.config.seed + 13)
         for worker in self.cluster.workers:
             worker.honor_request_rank = True
-        if self.cache is not None:
-            self.cache.warm(dataset.prompts[:300])
+        if self.cache is not None and self.config.cache_warm_prompts > 0:
+            self.cache.warm(dataset.prompts[: self.config.cache_warm_prompts])
 
     def default_initial_level(self) -> ApproximationLevel:
         """Every worker keeps the SD-XL base loaded (AC operates on it)."""

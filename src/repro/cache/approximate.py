@@ -59,12 +59,33 @@ class ApproximateCache:
         self.network = network or NetworkModel()
         self.similarity_threshold = float(similarity_threshold)
         self.checkpoint_steps = tuple(sorted(checkpoint_steps))
+        #: End-to-end retrieval accounting: every attempt with a positive
+        #: requested skip counts, whether it died at the network, the vector
+        #: index, the state store or the step check.  (The store-level
+        #: ``hit_rate`` only sees lookups that already matched the index.)
+        self.retrieval_attempts = 0
+        self.retrieval_hits = 0
 
     # ------------------------------------------------------------------ #
     # Retrieval path
     # ------------------------------------------------------------------ #
     def retrieve(self, prompt: Prompt, requested_skip: int, now_s: float) -> RetrievalOutcome:
         """Attempt to retrieve a noise state enabling ``requested_skip``."""
+        outcome = self._retrieve(prompt, requested_skip, now_s)
+        if requested_skip > 0:
+            self.retrieval_attempts += 1
+            if outcome.hit:
+                self.retrieval_hits += 1
+        return outcome
+
+    @property
+    def retrieval_hit_rate(self) -> float:
+        """Fraction of retrieval attempts that produced a usable state."""
+        if self.retrieval_attempts == 0:
+            return 0.0
+        return self.retrieval_hits / self.retrieval_attempts
+
+    def _retrieve(self, prompt: Prompt, requested_skip: int, now_s: float) -> RetrievalOutcome:
         if requested_skip <= 0:
             return RetrievalOutcome(
                 requested_skip=0, effective_skip=0, retrieval_latency_s=0.0, hit=False

@@ -81,6 +81,9 @@ class ArgusConfig:
     #: Queued requests beyond this multiple of the cluster's backlog slack
     #: count as scale-out pressure even before full saturation.
     autoscale_backlog_factor: float = 2.0
+    #: Training prompts pre-inserted into the approximate cache before the
+    #: run (0 = cold start: the cache fills from live traffic only).
+    cache_warm_prompts: int = 300
     #: Number of prompts used to train / retrain the classifier.
     classifier_training_prompts: int = 2000
     #: Epochs per classifier (re)training session.
@@ -139,6 +142,8 @@ class ArgusConfig:
             raise ValueError("debounce tick counts must be >= 1")
         if self.max_scale_step < 1:
             raise ValueError("max_scale_step must be >= 1")
+        if self.cache_warm_prompts < 0:
+            raise ValueError("cache_warm_prompts must be non-negative")
 
     @property
     def batching_enabled(self) -> bool:

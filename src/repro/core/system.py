@@ -122,8 +122,8 @@ class ArgusSystem(BaseServingSystem):
         self._recent_prompts: deque[Prompt] = deque(maxlen=self.config.classifier_training_prompts)
 
         self._apply_strategy(self.config.default_strategy)
-        if self.cache is not None:
-            self.cache.warm(self._training_prompts[:300])
+        if self.cache is not None and self.config.cache_warm_prompts > 0:
+            self.cache.warm(self._training_prompts[: self.config.cache_warm_prompts])
 
         # Seed the affinity predictor with the training prompts so the first
         # PASM is informative rather than uniform.

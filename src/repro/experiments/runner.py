@@ -115,18 +115,41 @@ class ExperimentRunner:
             count=self.dataset_size, seed=self.seed + 1, complexity_bias=complexity_bias
         )
 
+    def run_scenario(self, scenario, preset: str = "full", system: str | None = None):
+        """Run a declarative :class:`~repro.scenarios.spec.Scenario`.
+
+        ``scenario`` is a Scenario instance or registered name.  The
+        runner's ``seed`` is used for the whole run (dataset, arrivals and
+        every system component); ``dataset_size`` and ``drain_s`` follow the
+        preset, not this runner.  Returns a
+        :class:`~repro.scenarios.runtime.ScenarioRun`.
+        """
+        # Local import: the scenario runtime drives this module, not vice versa.
+        from repro.scenarios.runtime import run_scenario
+
+        return run_scenario(scenario, preset=preset, seed=self.seed, system=system)
+
     def run(
         self,
         system: BaseServingSystem,
         trace: WorkloadTrace,
         dataset: PromptDataset | None = None,
         arrival_kind: str = "poisson",
+        stream: RequestStream | None = None,
     ) -> ExperimentResult:
-        """Run ``system`` against ``trace`` and collect its metrics."""
-        dataset = dataset or self.make_dataset()
-        stream = RequestStream(
-            trace=trace, dataset=dataset, seed=self.seed + 2, arrival_kind=arrival_kind
-        )
+        """Run ``system`` against ``trace`` and collect its metrics.
+
+        A prebuilt ``stream`` (e.g. a drifting
+        :class:`~repro.workloads.replay.PhasedRequestStream`) overrides the
+        default dataset-cycling stream; it must be built over ``trace``.
+        """
+        if stream is None:
+            dataset = dataset or self.make_dataset()
+            stream = RequestStream(
+                trace=trace, dataset=dataset, seed=self.seed + 2, arrival_kind=arrival_kind
+            )
+        elif stream.trace is not trace:
+            raise ValueError("prebuilt stream must be built over the trace being run")
         system.schedule_arrivals(stream)
         system.run(duration_s=stream.duration_s, drain_s=self.drain_s)
 

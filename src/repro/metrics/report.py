@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.metrics.collector import MetricsCollector
 
@@ -55,6 +56,18 @@ class RunSummary:
         if self.total_completions == 0:
             return 0.0
         return self.cost_usd / self.total_completions
+
+    def as_dict(self) -> dict:
+        """Full-precision dict of every field plus the derived properties.
+
+        Unlike :meth:`as_row` nothing is rounded, so two bit-identical runs
+        produce byte-identical JSON dumps of this dict — the property the
+        scenario determinism tests pin.
+        """
+        payload = asdict(self)
+        payload["goodput_fraction"] = self.goodput_fraction
+        payload["cost_per_image_usd"] = self.cost_per_image_usd
+        return payload
 
     def as_row(self) -> dict[str, float | int | str]:
         """Flat dict convenient for printing benchmark tables."""
@@ -122,3 +135,59 @@ def summarize(
         gpu_hours=gpu_hours,
         cost_usd=cost_usd,
     )
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """A scenario-tagged run report: what the ``repro`` CLI emits as JSON.
+
+    Wraps a :class:`RunSummary` with the scenario identity (name, preset,
+    seed, system) and the per-minute time series, so an artifact is fully
+    self-describing: two reports are comparable iff their tags match, and a
+    report regenerated from the same (scenario, preset, seed) is
+    byte-identical.
+    """
+
+    scenario: str
+    preset: str
+    seed: int
+    system: str
+    workload: str
+    summary: RunSummary
+    #: Per-minute rows: offered/served QPM, violation ratio, relative
+    #: quality and fleet size (the Fig. 16-style curves).
+    minutes: list[dict] = field(default_factory=list)
+    #: System-specific extras (strategy switches, cache hit rate, ...).
+    extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dict form."""
+        return {
+            "scenario": self.scenario,
+            "preset": self.preset,
+            "seed": self.seed,
+            "system": self.system,
+            "workload": self.workload,
+            "summary": self.summary.as_dict(),
+            "minutes": list(self.minutes),
+            "extras": dict(self.extras),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Stable JSON dump (sorted keys) of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def minute_rows(minute_series) -> list[dict]:
+        """Flatten a ``MinuteStats`` series into JSON-friendly rows."""
+        return [
+            {
+                "minute": stats.minute,
+                "offered_qpm": float(stats.offered_qpm),
+                "served_qpm": float(stats.served_qpm),
+                "violation_ratio": float(stats.violation_ratio),
+                "mean_relative_quality": float(stats.mean_relative_quality),
+                "fleet_workers": float(stats.fleet_workers),
+            }
+            for stats in minute_series
+        ]

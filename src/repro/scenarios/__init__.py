@@ -1,0 +1,40 @@
+"""Declarative scenario engine: named, seeded, reproducible experiments.
+
+A scenario composes a workload trace (library trace, parametric shape or
+explicit replay), fleet + autoscaler configuration, fault injection,
+classifier-drift phases and a cache-network timeline into one spec with
+``small`` (CI) and ``full`` presets.  The registry ships the catalog; the
+runtime turns a spec into a run; ``python -m repro`` is the front door.
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from repro.scenarios.runtime import ScenarioRun, build_config, run_scenario
+from repro.scenarios.spec import (
+    DriftPhase,
+    FaultEvent,
+    NetworkWindow,
+    Preset,
+    Scenario,
+    TraceSpec,
+)
+
+__all__ = [
+    "DriftPhase",
+    "FaultEvent",
+    "NetworkWindow",
+    "Preset",
+    "Scenario",
+    "ScenarioRun",
+    "TraceSpec",
+    "build_config",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,177 @@
+"""The ``python -m repro`` command line: list, describe and run scenarios.
+
+Commands::
+
+    python -m repro list [--json]
+    python -m repro describe <scenario> [--json]
+    python -m repro run --scenario <name> [--preset small|full] [--seed N]
+                        [--system argus] [--output report.json]
+
+``list --json`` prints the scenario names as a JSON array — the CI scenario
+matrix is generated from exactly that output.  ``run`` writes a
+scenario-tagged :class:`~repro.metrics.report.ScenarioReport` JSON file that
+is byte-identical across repeated runs with the same arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.runner import SYSTEM_NAMES
+from repro.scenarios.registry import get_scenario, list_scenarios, scenario_names
+from repro.scenarios.runtime import run_scenario
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(scenario_names()))
+        return 0
+    rows = [
+        (
+            scenario.name,
+            f"{scenario.trace.source}:{scenario.trace.name or 'inline'}",
+            ",".join(sorted(scenario.presets)),
+            scenario.description,
+        )
+        for scenario in list_scenarios()
+    ]
+    name_width = max(len(row[0]) for row in rows)
+    trace_width = max(len(row[1]) for row in rows)
+    preset_width = max(len(row[2]) for row in rows)
+    header = (
+        f"{'scenario':<{name_width}}  {'trace':<{trace_width}}  "
+        f"{'presets':<{preset_width}}  description"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, trace, presets, description in rows:
+        print(
+            f"{name:<{name_width}}  {trace:<{trace_width}}  "
+            f"{presets:<{preset_width}}  {description}"
+        )
+    return 0
+
+
+def _lookup(args: argparse.Namespace):
+    """Resolve the scenario (and preset, for run) or exit with a message.
+
+    Only name lookups are caught here — a KeyError out of the simulator
+    itself is a bug and should traceback, not print a one-liner.
+    """
+    try:
+        scenario = get_scenario(args.scenario)
+        if getattr(args, "preset", None) is not None:
+            scenario.preset(args.preset)
+        return scenario
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return None
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    scenario = _lookup(args)
+    if scenario is None:
+        return 2
+    if args.json:
+        print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"{scenario.name}: {scenario.description}")
+    print(f"  system:    {scenario.system}")
+    print(f"  trace:     {scenario.trace.source}:{scenario.trace.name or 'inline'}"
+          f" {scenario.trace.params or ''}")
+    print(f"  arrivals:  {scenario.arrival_kind}")
+    if scenario.exercises:
+        print(f"  exercises: {', '.join(scenario.exercises)}")
+    if scenario.config:
+        print(f"  config:    {scenario.config}")
+    for kind, entries in (
+        ("faults", scenario.faults),
+        ("drift", scenario.drift),
+        ("network", scenario.network),
+    ):
+        if entries:
+            print(f"  {kind}:")
+            for entry in entries:
+                print(f"    - {entry}")
+    for preset_name in sorted(scenario.presets):
+        preset = scenario.presets[preset_name]
+        print(f"  preset {preset_name!r}: dataset={preset.dataset_size}"
+              f" drain={preset.drain_s:g}s trace_params={preset.trace_params}"
+              f" config={preset.config}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _lookup(args)
+    if scenario is None:
+        return 2
+    run = run_scenario(scenario, preset=args.preset, seed=args.seed, system=args.system)
+    report = run.report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    if not args.quiet:
+        row = run.summary.as_row()
+        print(
+            f"scenario={run.scenario.name} preset={run.preset_name} seed={run.seed} "
+            f"system={row['system']}"
+        )
+        for key in (
+            "served_qpm",
+            "slo_violation_ratio",
+            "relative_quality",
+            "p99_latency_s",
+            "utilization",
+            "fleet_peak",
+        ):
+            print(f"  {key:<22}{row[key]}")
+        for key in ("strategy_switches", "retraining_events", "retrieval_hit_rate"):
+            if run.extras.get(key) is not None:
+                print(f"  {key:<22}{run.extras[key]}")
+        if args.output:
+            print(f"  report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproducible scenario runner for the Argus reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--json", action="store_true", help="emit a JSON array of names")
+    list_parser.set_defaults(func=_cmd_list)
+
+    describe = commands.add_parser("describe", help="show one scenario's full spec")
+    describe.add_argument("scenario", help="scenario name (see 'list')")
+    describe.add_argument("--json", action="store_true", help="emit the spec as JSON")
+    describe.set_defaults(func=_cmd_describe)
+
+    run_parser = commands.add_parser("run", help="run a scenario and emit a JSON report")
+    run_parser.add_argument("--scenario", required=True, help="scenario name (see 'list')")
+    run_parser.add_argument("--preset", default="full", help="preset name (default: full)")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    run_parser.add_argument(
+        "--system", default=None, choices=SYSTEM_NAMES,
+        help="serve with a different system than the scenario default",
+    )
+    run_parser.add_argument("--output", default=None, help="write the JSON report here")
+    run_parser.add_argument("--quiet", action="store_true", help="suppress the summary printout")
+    run_parser.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

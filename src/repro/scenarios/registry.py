@@ -1,0 +1,333 @@
+"""The shipped scenario catalog.
+
+Every entry composes the spec layer into a named, reproducible experiment
+with a ``small`` preset (seconds, runs in the CI scenario matrix) and a
+``full`` preset (the real experiment).  Adding a scenario is a registry
+entry — no new wiring code.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    DriftPhase,
+    FaultEvent,
+    NetworkWindow,
+    Preset,
+    Scenario,
+    TraceSpec,
+)
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the catalog (name must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios() -> list[Scenario]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def scenario_names() -> list[str]:
+    """Names of all registered scenarios, sorted."""
+    return sorted(_REGISTRY)
+
+
+#: ArgusConfig overrides shared by every ``small`` preset: a half-size
+#: fleet and a lighter offline phase keep each CI run in the seconds range
+#: while exercising the same control loops as the full experiment.
+SMALL_FLEET = {
+    "num_workers": 4,
+    "classifier_training_prompts": 400,
+    "profiling_prompts": 200,
+    "classifier_epochs": 8,
+}
+
+
+register(
+    Scenario(
+        name="steady-baseline",
+        description=(
+            "Flat offered load comfortably inside the fleet ceiling: the "
+            "calibration baseline every other scenario is compared against."
+        ),
+        exercises=("routing", "solver", "approximate cache"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 15, "qpm": 45.0},
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 120}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="flash-crowd",
+        description=(
+            "A sudden 3x spike on a steady baseline: stresses backlog-"
+            "triggered out-of-band recalibration and queueing headroom."
+        ),
+        exercises=("backlog recalibration", "load estimation", "tail latency"),
+        trace=TraceSpec(source="shape", name="flash-crowd"),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={
+                    "duration_minutes": 24,
+                    "base_qpm": 35.0,
+                    "spike_start_minute": 8,
+                    "spike_minutes": 5,
+                    "spike_multiplier": 2.6,
+                    "decay_minutes": 3,
+                },
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 90,
+                    "base_qpm": 70.0,
+                    "spike_start_minute": 30,
+                    "spike_minutes": 12,
+                    "spike_multiplier": 3.0,
+                },
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="diurnal-24h",
+        description=(
+            "A full day/night cycle: load swings from trough to peak and "
+            "back, exercising sustained re-allocation across load levels."
+        ),
+        exercises=("re-allocation cadence", "diurnal load", "quality adaptation"),
+        trace=TraceSpec(source="shape", name="diurnal"),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={
+                    "duration_minutes": 30,
+                    "period_minutes": 30,
+                    "base_qpm": 25.0,
+                    "peak_qpm": 85.0,
+                },
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(
+                dataset_size=5000,
+                trace_params={"duration_minutes": 1440, "base_qpm": 50.0, "peak_qpm": 160.0},
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="autoscale-updown",
+        description=(
+            "The Fig. 17 up-down ramp with the closed-loop autoscaler: load "
+            "outgrows the fixed fleet, workers provision through the peak "
+            "and drain back out with hysteresis."
+        ),
+        exercises=("autoscaler", "saturation signal", "elastic fleet", "cost accounting"),
+        trace=TraceSpec(source="shape", name="updown"),
+        config={
+            "autoscale_enabled": True,
+            "provision_delay_s": 90.0,
+        },
+        presets={
+            "small": Preset(
+                dataset_size=800,
+                trace_params={
+                    "ramp_minutes": 27,
+                    "descent_minutes": 9,
+                    "start_qpm": 25.0,
+                    "peak_qpm": 130.0,
+                },
+                config={**SMALL_FLEET, "max_workers": 8, "provision_delay_s": 45.0},
+            ),
+            "full": Preset(
+                dataset_size=1500,
+                trace_params={
+                    "ramp_minutes": 90,
+                    "descent_minutes": 30,
+                    "start_qpm": 40.0,
+                    "peak_qpm": 240.0,
+                },
+                config={"max_workers": 16},
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="fault-storm",
+        description=(
+            "Staggered worker failures under load (Fig. 20a scaled up): half "
+            "the fleet drops in two waves and recovers; the allocator trades "
+            "quality for throughput and back."
+        ),
+        exercises=("failure injection", "requeueing", "degraded re-allocation"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 85.0}),
+        faults=(
+            FaultEvent(fail_at_minute=15.0, recover_at_minute=35.0, fleet_fraction=0.25),
+            FaultEvent(fail_at_minute=20.0, recover_at_minute=40.0, worker_id=7),
+            FaultEvent(fail_at_minute=22.0, recover_at_minute=40.0, worker_id=6),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 20, "qpm": 42.0},
+                config=SMALL_FLEET,
+                faults=(
+                    FaultEvent(fail_at_minute=5.0, recover_at_minute=12.0, fleet_fraction=0.25),
+                    FaultEvent(fail_at_minute=7.0, recover_at_minute=14.0, worker_id=3),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 55}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="drift-recalibration",
+        description=(
+            "The prompt mix shifts to harder prompts mid-run (Fig. 18): the "
+            "drift detector notices the PickScore shift and retrains the "
+            "affinity classifiers on recent traffic."
+        ),
+        exercises=("classifier drift", "retraining", "prompt distribution shift"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
+        drift=(
+            DriftPhase(start_minute=0.0, complexity_bias=0.0),
+            DriftPhase(start_minute=30.0, complexity_bias=0.45),
+        ),
+        presets={
+            # The drift point sits past two full 400-sample detector windows
+            # so the baseline moving average is established before the shift.
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 30, "qpm": 60.0},
+                config=SMALL_FLEET,
+                drift=(
+                    DriftPhase(start_minute=0.0, complexity_bias=0.0),
+                    DriftPhase(start_minute=15.0, complexity_bias=0.55),
+                ),
+            ),
+            "full": Preset(dataset_size=4000, trace_params={"duration_minutes": 70}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="degraded-network",
+        description=(
+            "The cache network congests, then blacks out (Fig. 20b): "
+            "retrieval monitoring abandons approximate caching for smaller "
+            "models and probes its way back after recovery."
+        ),
+        exercises=("strategy switching", "network probes", "retrieval monitoring"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 110.0}),
+        config={"retrieval_violations_to_switch": 10},
+        network=(
+            NetworkWindow(start_minute=12.0, end_minute=20.0, condition="congested"),
+            NetworkWindow(start_minute=20.0, end_minute=32.0, condition="outage"),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 24, "qpm": 55.0},
+                config={**SMALL_FLEET, "retrieval_violations_to_switch": 6},
+                network=(
+                    NetworkWindow(start_minute=6.0, end_minute=10.0, condition="congested"),
+                    NetworkWindow(start_minute=10.0, end_minute=16.0, condition="outage"),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 45}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="cache-cold-start",
+        description=(
+            "Approximate caching from an empty cache: no warm-up prompts, so "
+            "early AC traffic misses while the vector database fills from "
+            "live traffic — the hit rate ramps from zero."
+        ),
+        exercises=("cache warm-up", "hit-rate ramp", "retrieval path"),
+        trace=TraceSpec(source="library", name="twitter"),
+        config={"cache_warm_prompts": 0},
+        presets={
+            # The dataset outsizes the request count so prompts do not
+            # recycle: every retrieval is a first encounter and the hit rate
+            # genuinely ramps with vector-index coverage.
+            "small": Preset(
+                dataset_size=2000,
+                trace_params={"duration_minutes": 20, "base_qpm": 25.0, "peak_qpm": 60.0},
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(dataset_size=5000, trace_params={"duration_minutes": 240}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="bursty-load-switch",
+        description=(
+            "Bursty load whose high phase presses against the AC throughput "
+            "ceiling: the load-driven AC→SM switch fires during bursts and "
+            "switches back in the quiet phases."
+        ),
+        exercises=("load-driven strategy switch", "hysteresis", "bursty traffic"),
+        trace=TraceSpec(source="library", name="bursty"),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={
+                    "duration_minutes": 30,
+                    "low_qpm": 45.0,
+                    "high_qpm": 104.0,
+                    "mean_burst_minutes": 9.0,
+                },
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 200,
+                    "low_qpm": 90.0,
+                    "high_qpm": 208.0,
+                    "mean_burst_minutes": 35.0,
+                },
+            ),
+        },
+    )
+)

@@ -1,0 +1,265 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` composes everything one reproducible experiment needs —
+workload shape / trace source, fleet and autoscaler configuration, fault
+injection, classifier-drift phases and network-condition timelines — into a
+single named, seeded spec with a dict/JSON form.  Scenarios carry *presets*
+(at minimum ``small`` for CI and ``full`` for real experiments) that scale
+the same experiment down or up without changing what it exercises.
+
+The spec layer is pure data: building traces, systems and streams from a
+spec lives in :mod:`repro.scenarios.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.cache.network import NetworkCondition
+from repro.workloads.shapes import SHAPES, build_shape
+from repro.workloads.traces import TraceLibrary, WorkloadTrace
+
+#: Where a scenario's trace comes from.
+TRACE_SOURCES = ("library", "shape", "replay")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative workload trace: a library trace, a shape, or a replay.
+
+    - ``source="library"``: ``name`` is a :class:`TraceLibrary` trace
+      (``twitter``, ``sysx``, ``bursty``, ``increasing``, ``constant``).
+    - ``source="shape"``: ``name`` is a :data:`repro.workloads.shapes.SHAPES`
+      generator (``steady``, ``diurnal``, ``flash-crowd``, ``ramp``,
+      ``updown``).
+    - ``source="replay"``: ``qpm`` is an explicit per-minute series.
+
+    ``params`` are passed to the builder; ``scale`` multiplies the result.
+    """
+
+    source: str
+    name: str = ""
+    params: dict = field(default_factory=dict)
+    qpm: tuple[float, ...] = ()
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source not in TRACE_SOURCES:
+            raise ValueError(f"unknown trace source {self.source!r}; known: {TRACE_SOURCES}")
+        if self.source == "replay":
+            if not self.qpm:
+                raise ValueError("replay traces need an explicit qpm series")
+        elif not self.name:
+            raise ValueError(f"{self.source} traces need a name")
+        if self.source == "shape" and self.name not in SHAPES:
+            raise ValueError(f"unknown shape {self.name!r}; known: {sorted(SHAPES)}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        object.__setattr__(self, "qpm", tuple(float(q) for q in self.qpm))
+
+    def build(self, seed: int = 0, **overrides) -> WorkloadTrace:
+        """Materialise the trace (``overrides`` update ``params``)."""
+        params = {**self.params, **overrides}
+        if self.source == "library":
+            trace = TraceLibrary(seed=seed).by_name(self.name, **params)
+        elif self.source == "shape":
+            trace = build_shape(self.name, seed=seed, **params)
+        else:
+            trace = WorkloadTrace("replay", self.qpm)
+        if self.scale != 1.0:
+            trace = trace.scaled(self.scale)
+        return trace
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled worker failure (and optional recovery).
+
+    Either ``worker_id`` names one worker, or ``fleet_fraction`` fails that
+    fraction of the initial fleet (lowest worker ids, rounded to nearest).
+    """
+
+    fail_at_minute: float
+    recover_at_minute: float | None = None
+    worker_id: int | None = None
+    fleet_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.worker_id is None) == (self.fleet_fraction is None):
+            raise ValueError("specify exactly one of worker_id or fleet_fraction")
+        if self.fleet_fraction is not None and not 0.0 < self.fleet_fraction <= 1.0:
+            raise ValueError("fleet_fraction must be in (0, 1]")
+        if self.fail_at_minute < 0:
+            raise ValueError("fail_at_minute must be non-negative")
+        if self.recover_at_minute is not None and self.recover_at_minute <= self.fail_at_minute:
+            raise ValueError("recovery must happen after the failure")
+
+    def worker_ids(self, num_workers: int) -> tuple[int, ...]:
+        """Concrete worker ids this event fails on an ``num_workers`` fleet."""
+        if self.worker_id is not None:
+            if not 0 <= self.worker_id < num_workers:
+                raise ValueError(f"worker_id {self.worker_id} outside fleet of {num_workers}")
+            return (self.worker_id,)
+        count = max(1, int(round(self.fleet_fraction * num_workers)))
+        return tuple(range(min(count, num_workers)))
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """A prompt-distribution phase: from ``start_minute`` onward, the
+    workload draws prompts generated with ``complexity_bias``."""
+
+    start_minute: float
+    complexity_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_minute < 0:
+            raise ValueError("start_minute must be non-negative")
+
+
+@dataclass(frozen=True)
+class NetworkWindow:
+    """A scheduled cache-network condition over a window of the run."""
+
+    start_minute: float
+    end_minute: float
+    condition: str
+
+    def __post_init__(self) -> None:
+        if self.end_minute <= self.start_minute:
+            raise ValueError("window end must be after start")
+        NetworkCondition(self.condition)  # raises ValueError for unknown conditions
+
+
+def _validate_drift(phases: tuple[DriftPhase, ...]) -> None:
+    """A drift schedule must cover the run: phase 0 at t=0, sorted starts."""
+    starts = [phase.start_minute for phase in phases]
+    if starts and (starts[0] != 0.0 or starts != sorted(starts) or len(set(starts)) != len(starts)):
+        raise ValueError("drift phases must start at 0 and have strictly increasing starts")
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A size class of a scenario: the same experiment, scaled.
+
+    ``trace_params`` override the scenario's :class:`TraceSpec` params (this
+    is where ``small`` shrinks the duration); ``config`` overrides
+    :class:`~repro.core.config.ArgusConfig` fields on top of the scenario's
+    own overrides.  ``faults`` / ``drift`` / ``network`` replace the
+    scenario-level schedules when set (schedules are absolute times, so a
+    shorter preset usually needs its own).
+    """
+
+    dataset_size: int = 3000
+    drain_s: float = 120.0
+    trace_params: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    faults: tuple[FaultEvent, ...] | None = None
+    drift: tuple[DriftPhase, ...] | None = None
+    network: tuple[NetworkWindow, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.dataset_size <= 0:
+            raise ValueError("dataset_size must be positive")
+        if self.drain_s < 0:
+            raise ValueError("drain_s must be non-negative")
+        for name in ("faults", "drift", "network"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(value))
+        if self.drift is not None:
+            _validate_drift(self.drift)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded, fully declarative experiment."""
+
+    name: str
+    description: str
+    trace: TraceSpec
+    #: What this scenario exercises (free-form tags for the catalog).
+    exercises: tuple[str, ...] = ()
+    #: Serving system to run (any :func:`repro.experiments.runner.build_system` name).
+    system: str = "argus"
+    arrival_kind: str = "poisson"
+    #: Base ArgusConfig overrides shared by every preset.
+    config: dict = field(default_factory=dict)
+    faults: tuple[FaultEvent, ...] = ()
+    drift: tuple[DriftPhase, ...] = ()
+    network: tuple[NetworkWindow, ...] = ()
+    presets: dict[str, Preset] = field(default_factory=dict)
+    default_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.arrival_kind not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival kind {self.arrival_kind!r}")
+        object.__setattr__(self, "exercises", tuple(self.exercises))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "drift", tuple(self.drift))
+        object.__setattr__(self, "network", tuple(self.network))
+        if "small" not in self.presets or "full" not in self.presets:
+            raise ValueError(f"scenario {self.name!r} must define 'small' and 'full' presets")
+        _validate_drift(self.drift)
+
+    def preset(self, name: str) -> Preset:
+        """Look up a preset by name."""
+        try:
+            return self.presets[name]
+        except KeyError:
+            raise KeyError(
+                f"scenario {self.name!r} has no preset {name!r}; known: {sorted(self.presets)}"
+            ) from None
+
+    def schedule(self, preset: Preset) -> tuple[
+        tuple[FaultEvent, ...], tuple[DriftPhase, ...], tuple[NetworkWindow, ...]
+    ]:
+        """Effective (faults, drift, network) under ``preset`` overrides."""
+        faults = preset.faults if preset.faults is not None else self.faults
+        drift = preset.drift if preset.drift is not None else self.drift
+        network = preset.network if preset.network is not None else self.network
+        return tuple(faults), tuple(drift), tuple(network)
+
+    # ------------------------------------------------------------------ #
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable)."""
+        payload = asdict(self)
+        payload["trace"]["qpm"] = list(self.trace.qpm)
+        payload["exercises"] = list(self.exercises)
+        payload["faults"] = [asdict(e) for e in self.faults]
+        payload["drift"] = [asdict(p) for p in self.drift]
+        payload["network"] = [asdict(w) for w in self.network]
+        payload["presets"] = {}
+        for preset_name, preset in self.presets.items():
+            entry = asdict(preset)
+            for key in ("faults", "drift", "network"):
+                value = getattr(preset, key)
+                entry[key] = None if value is None else [asdict(item) for item in value]
+            payload["presets"][preset_name] = entry
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(payload)
+        data["trace"] = TraceSpec(**dict(data["trace"], qpm=tuple(data["trace"].get("qpm", ()))))
+        data["exercises"] = tuple(data.get("exercises", ()))
+        data["faults"] = tuple(FaultEvent(**e) for e in data.get("faults", ()))
+        data["drift"] = tuple(DriftPhase(**p) for p in data.get("drift", ()))
+        data["network"] = tuple(NetworkWindow(**w) for w in data.get("network", ()))
+        presets = {}
+        for preset_name, entry in data.get("presets", {}).items():
+            entry = dict(entry)
+            if entry.get("faults") is not None:
+                entry["faults"] = tuple(FaultEvent(**e) for e in entry["faults"])
+            if entry.get("drift") is not None:
+                entry["drift"] = tuple(DriftPhase(**p) for p in entry["drift"])
+            if entry.get("network") is not None:
+                entry["network"] = tuple(NetworkWindow(**w) for w in entry["network"])
+            presets[preset_name] = Preset(**entry)
+        data["presets"] = presets
+        return cls(**data)

@@ -7,14 +7,18 @@ This package synthesises traces with those shapes and converts them into
 timestamped request arrivals.
 """
 
-from repro.workloads.traces import WorkloadTrace, TraceLibrary
 from repro.workloads.arrival import ArrivalProcess
-from repro.workloads.replay import RequestStream, TimedPrompt
+from repro.workloads.replay import PhasedRequestStream, RequestStream, TimedPrompt
+from repro.workloads.shapes import SHAPES, build_shape
+from repro.workloads.traces import TraceLibrary, WorkloadTrace
 
 __all__ = [
+    "SHAPES",
     "ArrivalProcess",
+    "PhasedRequestStream",
     "RequestStream",
     "TimedPrompt",
     "TraceLibrary",
     "WorkloadTrace",
+    "build_shape",
 ]

@@ -13,7 +13,7 @@ for million-request traces.  Random-access helpers (``len``, indexing,
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.prompts.dataset import PromptDataset
@@ -96,3 +96,61 @@ class RequestStream:
     def between(self, start_s: float, end_s: float) -> list[TimedPrompt]:
         """Timed prompts arriving within [start_s, end_s)."""
         return [tp for tp in self._timed if start_s <= tp.arrival_time_s < end_s]
+
+
+class PhasedRequestStream(RequestStream):
+    """A request stream whose prompt distribution shifts over time.
+
+    ``phases`` is a sequence of ``(start_s, dataset)`` pairs sorted by start
+    time with the first phase starting at 0.0; each arrival draws (cyclically,
+    with a per-phase cursor) from the dataset of the phase its timestamp
+    falls in.  Arrival *timestamps* come from the same lazy arrival process
+    as :class:`RequestStream`, so a drift schedule perturbs only the prompt
+    mix — the offered load is identical to the undrifted stream.
+
+    This is the workload-side half of classifier drift (Fig. 18): the served
+    prompt distribution changes mid-run and the system's drift detector is
+    expected to notice and retrain.
+    """
+
+    def __init__(
+        self,
+        trace: WorkloadTrace,
+        phases: Sequence[tuple[float, PromptDataset]],
+        seed: int = 0,
+        arrival_kind: str = "poisson",
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        starts = [float(start) for start, _ in phases]
+        if starts[0] != 0.0:
+            raise ValueError("first phase must start at 0.0")
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ValueError("phase start times must be strictly increasing")
+        super().__init__(trace=trace, dataset=phases[0][1], seed=seed, arrival_kind=arrival_kind)
+        self.phases = [(float(start), dataset) for start, dataset in phases]
+        for _, dataset in self.phases:
+            if len(dataset) == 0:
+                raise ValueError("phase datasets must not be empty")
+
+    def dataset_at(self, time_s: float) -> PromptDataset:
+        """The prompt dataset in force at ``time_s``."""
+        active = self.phases[0][1]
+        for start, dataset in self.phases:
+            if time_s < start:
+                break
+            active = dataset
+        return active
+
+    def _iter_lazy(self) -> Iterator[TimedPrompt]:
+        process = ArrivalProcess(seed=self.seed)
+        cursors = [0] * len(self.phases)
+        index = 0
+        for arrival in process.iter_arrivals(self.trace, self.arrival_kind):
+            while index + 1 < len(self.phases) and arrival >= self.phases[index + 1][0]:
+                index += 1
+            dataset = self.phases[index][1]
+            yield TimedPrompt(
+                arrival_time_s=arrival, prompt=dataset[cursors[index] % len(dataset)]
+            )
+            cursors[index] += 1

@@ -1,0 +1,152 @@
+"""Named workload shapes: parametric QPM trace generators for scenarios.
+
+Where :class:`repro.workloads.traces.TraceLibrary` reproduces the paper's
+evaluation traces (whose exact draws are pinned by the benchmark suite),
+this module provides *composable* shape generators for the scenario engine:
+each shape is a pure function ``(seed, **params) -> WorkloadTrace`` drawing
+from its own :func:`stable_hash`-derived stream, so a scenario spec can name
+a shape and its parameters declaratively and get the same trace on every
+machine and every run.
+
+Shapes:
+
+- ``steady``       — flat load with optional noise
+- ``diurnal``      — sinusoidal day/night cycle (the 24h pattern)
+- ``flash-crowd``  — steady baseline with a sudden multiplicative spike
+- ``ramp``         — linear ramp between two rates (Fig. 17 stress shape)
+- ``updown``       — ramp up then back down (the §6 autoscaling exercise)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.simulation.randomness import stable_hash
+from repro.workloads.traces import WorkloadTrace
+
+
+def _shape_rng(seed: int, shape: str) -> np.random.Generator:
+    """Independent generator per (seed, shape) pair, stable across runs."""
+    derived = (int(seed) * 0x9E3779B1 + stable_hash(f"shape:{shape}")) % (1 << 63)
+    return np.random.default_rng(derived)
+
+
+def _finish(name: str, qpm: np.ndarray, noise: float, rng: np.random.Generator) -> WorkloadTrace:
+    """Apply multiplicative noise and clamp to a valid trace."""
+    if noise > 0.0:
+        qpm = qpm * (1.0 + rng.normal(0.0, noise, size=len(qpm)))
+    return WorkloadTrace(name, tuple(float(max(1.0, q)) for q in qpm))
+
+
+def steady(
+    seed: int = 0,
+    duration_minutes: int = 60,
+    qpm: float = 90.0,
+    noise: float = 0.0,
+) -> WorkloadTrace:
+    """Flat offered load, optionally with small multiplicative jitter."""
+    rng = _shape_rng(seed, "steady")
+    values = np.full(int(duration_minutes), float(qpm))
+    return _finish("steady", values, noise, rng)
+
+
+def diurnal(
+    seed: int = 0,
+    duration_minutes: int = 1440,
+    base_qpm: float = 50.0,
+    peak_qpm: float = 160.0,
+    period_minutes: float | None = None,
+    noise: float = 0.04,
+) -> WorkloadTrace:
+    """Sinusoidal day/night cycle: trough at the start, peak mid-period.
+
+    ``period_minutes`` defaults to the full duration (one cycle); a 24h run
+    with ``period_minutes=1440`` gives the classic diurnal pattern, while a
+    compressed CI preset can fit a whole cycle into an hour.
+    """
+    rng = _shape_rng(seed, "diurnal")
+    period = float(period_minutes) if period_minutes else float(duration_minutes)
+    minutes = np.arange(int(duration_minutes))
+    cycle = 0.5 * (1.0 + np.sin(2.0 * np.pi * minutes / period - np.pi / 2.0))
+    values = base_qpm + (peak_qpm - base_qpm) * cycle
+    return _finish("diurnal", values, noise, rng)
+
+
+def flash_crowd(
+    seed: int = 0,
+    duration_minutes: int = 60,
+    base_qpm: float = 70.0,
+    spike_start_minute: int = 20,
+    spike_minutes: int = 10,
+    spike_multiplier: float = 3.0,
+    decay_minutes: int = 6,
+    noise: float = 0.03,
+) -> WorkloadTrace:
+    """Steady load with a sudden flash-crowd spike and a linear decay tail.
+
+    The spike is a step up to ``base_qpm * spike_multiplier`` held for
+    ``spike_minutes``, then a linear decay back to baseline over
+    ``decay_minutes`` — the shape that stresses backlog-triggered
+    recalibration and, past the fleet ceiling, the load-driven AC→SM switch.
+    """
+    rng = _shape_rng(seed, "flash-crowd")
+    values = np.full(int(duration_minutes), float(base_qpm))
+    start = int(spike_start_minute)
+    stop = min(start + int(spike_minutes), len(values))
+    values[start:stop] = base_qpm * spike_multiplier
+    for i in range(int(decay_minutes)):
+        index = stop + i
+        if index >= len(values):
+            break
+        fraction = (i + 1) / (decay_minutes + 1)
+        values[index] = base_qpm * (spike_multiplier + (1.0 - spike_multiplier) * fraction)
+    return _finish("flash-crowd", values, noise, rng)
+
+
+def ramp(
+    seed: int = 0,
+    duration_minutes: int = 90,
+    start_qpm: float = 40.0,
+    end_qpm: float = 240.0,
+    noise: float = 0.02,
+) -> WorkloadTrace:
+    """Linear ramp between two rates (the Fig. 17 stress shape)."""
+    rng = _shape_rng(seed, "ramp")
+    values = np.linspace(float(start_qpm), float(end_qpm), int(duration_minutes))
+    return _finish("ramp", values, noise, rng)
+
+
+def updown(
+    seed: int = 0,
+    ramp_minutes: int = 90,
+    descent_minutes: int = 30,
+    start_qpm: float = 40.0,
+    peak_qpm: float = 240.0,
+    noise: float = 0.02,
+) -> WorkloadTrace:
+    """Ramp up to a peak, then descend back — the §6 autoscaling exercise."""
+    rng = _shape_rng(seed, "updown")
+    up = np.linspace(float(start_qpm), float(peak_qpm), int(ramp_minutes))
+    down = np.linspace(float(peak_qpm), float(start_qpm), int(descent_minutes) + 1)[1:]
+    return _finish("updown", np.concatenate([up, down]), noise, rng)
+
+
+#: Registry of shape generators by declarative name.
+SHAPES: dict[str, Callable[..., WorkloadTrace]] = {
+    "steady": steady,
+    "diurnal": diurnal,
+    "flash-crowd": flash_crowd,
+    "ramp": ramp,
+    "updown": updown,
+}
+
+
+def build_shape(name: str, seed: int = 0, **params) -> WorkloadTrace:
+    """Build a named shape with the given parameters."""
+    try:
+        builder = SHAPES[name]
+    except KeyError:
+        raise KeyError(f"unknown shape {name!r}; known: {sorted(SHAPES)}") from None
+    return builder(seed=seed, **params)

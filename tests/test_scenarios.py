@@ -1,0 +1,391 @@
+"""Tests for the declarative scenario engine, shapes and the repro CLI."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ArgusConfig
+from repro.experiments.runner import ExperimentRunner, build_system
+from repro.prompts.dataset import PromptDataset
+from repro.scenarios import (
+    DriftPhase,
+    FaultEvent,
+    NetworkWindow,
+    Preset,
+    Scenario,
+    TraceSpec,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.cli import main as cli_main
+from repro.workloads.replay import PhasedRequestStream
+from repro.workloads.shapes import SHAPES, build_shape
+from repro.workloads.traces import TraceLibrary
+
+
+# --------------------------------------------------------------------- #
+# Workload shapes
+# --------------------------------------------------------------------- #
+class TestShapes:
+    def test_registry_names(self):
+        assert {"steady", "diurnal", "flash-crowd", "ramp", "updown"} <= set(SHAPES)
+
+    def test_unknown_shape(self):
+        with pytest.raises(KeyError):
+            build_shape("nope")
+
+    def test_steady(self):
+        trace = build_shape("steady", duration_minutes=10, qpm=50.0)
+        assert trace.duration_minutes == 10
+        assert all(q == 50.0 for q in trace.qpm)
+
+    def test_diurnal_trough_to_peak(self):
+        trace = build_shape(
+            "diurnal", duration_minutes=60, base_qpm=20.0, peak_qpm=100.0, noise=0.0
+        )
+        assert trace.duration_minutes == 60
+        assert trace.qpm[0] == pytest.approx(20.0, abs=1.0)
+        assert trace.peak_qpm == pytest.approx(100.0, rel=0.02)
+
+    def test_flash_crowd_spike(self):
+        trace = build_shape(
+            "flash-crowd",
+            duration_minutes=30,
+            base_qpm=40.0,
+            spike_start_minute=10,
+            spike_minutes=5,
+            spike_multiplier=3.0,
+            noise=0.0,
+        )
+        assert trace.qpm[9] == pytest.approx(40.0)
+        assert trace.qpm[12] == pytest.approx(120.0)
+        # Decay tail returns towards baseline.
+        assert trace.qpm[-1] == pytest.approx(40.0)
+
+    def test_updown_shape(self):
+        trace = build_shape(
+            "updown", ramp_minutes=20, descent_minutes=10, start_qpm=10, peak_qpm=100, noise=0.0
+        )
+        assert trace.duration_minutes == 30
+        assert trace.qpm[19] == pytest.approx(100.0)
+        assert trace.qpm[-1] < trace.qpm[19]
+
+    def test_shapes_deterministic_per_seed(self):
+        a = build_shape("diurnal", seed=3, duration_minutes=40)
+        b = build_shape("diurnal", seed=3, duration_minutes=40)
+        c = build_shape("diurnal", seed=4, duration_minutes=40)
+        assert a.qpm == b.qpm
+        assert a.qpm != c.qpm
+
+
+# --------------------------------------------------------------------- #
+# Spec layer
+# --------------------------------------------------------------------- #
+class TestSpec:
+    def test_trace_spec_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec(source="weird")
+        with pytest.raises(ValueError):
+            TraceSpec(source="shape", name="nope")
+        with pytest.raises(ValueError):
+            TraceSpec(source="replay")
+
+    def test_replay_trace(self):
+        spec = TraceSpec(source="replay", qpm=(10.0, 20.0, 30.0), scale=2.0)
+        trace = spec.build(seed=0)
+        assert trace.qpm == (20.0, 40.0, 60.0)
+
+    def test_preset_trace_param_overrides(self):
+        spec = TraceSpec(source="library", name="constant", params={"qpm": 50.0})
+        trace = spec.build(seed=0, duration_minutes=5)
+        assert trace.duration_minutes == 5
+        assert trace.qpm[0] == 50.0
+
+    def test_fault_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(fail_at_minute=5.0)  # neither worker nor fraction
+        with pytest.raises(ValueError):
+            FaultEvent(fail_at_minute=5.0, worker_id=1, fleet_fraction=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(fail_at_minute=5.0, recover_at_minute=4.0, worker_id=1)
+
+    def test_fault_event_worker_ids(self):
+        assert FaultEvent(fail_at_minute=1.0, worker_id=3).worker_ids(8) == (3,)
+        assert FaultEvent(fail_at_minute=1.0, fleet_fraction=0.5).worker_ids(8) == (0, 1, 2, 3)
+        assert FaultEvent(fail_at_minute=1.0, fleet_fraction=0.1).worker_ids(4) == (0,)
+
+    def test_scenario_requires_presets(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x",
+                description="d",
+                trace=TraceSpec(source="library", name="constant"),
+                presets={"small": Preset()},
+            )
+
+    def test_preset_drift_override_is_validated(self):
+        # Preset-level drift overrides must satisfy the same schedule rules
+        # as scenario-level ones (phase 0 at t=0, increasing starts).
+        with pytest.raises(ValueError):
+            Preset(drift=(DriftPhase(start_minute=30.0, complexity_bias=0.5),))
+        with pytest.raises(ValueError):
+            Preset(
+                drift=(
+                    DriftPhase(start_minute=0.0),
+                    DriftPhase(start_minute=0.0, complexity_bias=0.5),
+                )
+            )
+
+    def test_network_window_validation(self):
+        with pytest.raises(ValueError):
+            NetworkWindow(start_minute=5.0, end_minute=5.0, condition="outage")
+        with pytest.raises(ValueError):
+            NetworkWindow(start_minute=0.0, end_minute=5.0, condition="weird")
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_dict_round_trip(self, name):
+        scenario = get_scenario(name)
+        payload = scenario.to_dict()
+        json.dumps(payload)  # must be JSON-serialisable
+        assert Scenario.from_dict(payload) == scenario
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_catalog_size(self):
+        assert len(list_scenarios()) >= 8
+
+    def test_required_presets(self):
+        for scenario in list_scenarios():
+            assert {"small", "full"} <= set(scenario.presets)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", scenario_names())
+    @pytest.mark.parametrize("preset", ["small", "full"])
+    def test_traces_build(self, name, preset):
+        scenario = get_scenario(name)
+        trace = scenario.trace.build(seed=0, **scenario.preset(preset).trace_params)
+        assert trace.duration_minutes > 0
+
+
+# --------------------------------------------------------------------- #
+# Drifting request streams
+# --------------------------------------------------------------------- #
+class TestPhasedRequestStream:
+    def test_phase_validation(self):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=2, qpm=30.0)
+        ds = PromptDataset.synthetic(count=10, seed=0)
+        with pytest.raises(ValueError):
+            PhasedRequestStream(trace, phases=[])
+        with pytest.raises(ValueError):
+            PhasedRequestStream(trace, phases=[(60.0, ds)])
+        with pytest.raises(ValueError):
+            PhasedRequestStream(trace, phases=[(0.0, ds), (0.0, ds)])
+
+    def test_switches_dataset_at_boundary(self):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=4, qpm=60.0)
+        early = PromptDataset.synthetic(count=50, seed=1)
+        late = PromptDataset.synthetic(count=50, seed=2)
+        stream = PhasedRequestStream(trace, phases=[(0.0, early), (120.0, late)], seed=0)
+        early_texts = {p.text for p in early}
+        late_texts = {p.text for p in late}
+        for timed in stream:
+            expected = early_texts if timed.arrival_time_s < 120.0 else late_texts
+            assert timed.prompt.text in expected
+
+    def test_same_arrival_times_as_plain_stream(self):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=3, qpm=40.0)
+        ds = PromptDataset.synthetic(count=30, seed=1)
+        other = PromptDataset.synthetic(count=30, seed=2)
+        plain = [
+            t.arrival_time_s
+            for t in PhasedRequestStream(trace, phases=[(0.0, ds)], seed=5)
+        ]
+        phased = [
+            t.arrival_time_s
+            for t in PhasedRequestStream(trace, phases=[(0.0, ds), (90.0, other)], seed=5)
+        ]
+        assert plain == phased
+
+
+# --------------------------------------------------------------------- #
+# Running scenarios
+# --------------------------------------------------------------------- #
+def _min_fleet(run):
+    return min(m.fleet_workers for m in run.result.minute_series[1:-1])
+
+
+#: Behavioural assertion per scenario: the small preset must not just
+#: complete, it must exercise what the catalog says it exercises.
+SCENARIO_CHECKS = {
+    "steady-baseline": lambda run: run.summary.slo_violation_ratio < 0.1,
+    "flash-crowd": lambda run: run.trace.peak_qpm > 2.0 * run.trace.qpm[0],
+    "diurnal-24h": lambda run: run.trace.peak_qpm > 2.0 * min(run.trace.qpm),
+    "autoscale-updown": lambda run: run.summary.workers_added > 0
+    and run.summary.fleet_peak_workers > run.config.num_workers,
+    "fault-storm": lambda run: _min_fleet(run) < run.config.num_workers,
+    "drift-recalibration": lambda run: run.extras["retraining_events"] >= 1,
+    "degraded-network": lambda run: run.extras["strategy_switches"] >= 2,
+    "cache-cold-start": lambda run: run.config.cache_warm_prompts == 0
+    and run.extras["retrieval_hit_rate"] < 1.0,
+    "bursty-load-switch": lambda run: run.extras["strategy_switches"] >= 2,
+}
+
+
+class TestRunScenarios:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_small_preset_completes_and_exercises(self, name):
+        run = run_scenario(name, preset="small", seed=0)
+        assert run.summary.total_completions > 0
+        assert run.summary.total_arrivals >= run.summary.total_completions
+        report = run.report()
+        assert report.scenario == name
+        assert report.preset == "small"
+        assert report.seed == 0
+        assert len(report.minutes) >= run.trace.duration_minutes
+        check = SCENARIO_CHECKS.get(name)
+        if check is not None:
+            assert check(run), f"behavioural check failed for {name}"
+
+    def test_system_override(self):
+        run = run_scenario("steady-baseline", preset="small", seed=0, system="clipper-ht")
+        assert run.summary.system == "Clipper-HT"
+
+    def test_baselines_honor_cache_warm_prompts(self):
+        # cache-cold-start sets cache_warm_prompts=0; every caching system
+        # must start with an empty vector index, not just Argus.
+        run = run_scenario("cache-cold-start", preset="small", seed=0, system="nirvana")
+        assert run.extras["retrieval_hit_rate"] < 1.0
+
+    def test_registry_catalog_matches_checks(self):
+        # Every registered scenario should carry a behavioural check so new
+        # entries are forced to declare what they exercise.
+        assert set(SCENARIO_CHECKS) == set(scenario_names())
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        first = run_scenario("steady-baseline", preset="small", seed=7)
+        second = run_scenario("steady-baseline", preset="small", seed=7)
+        assert first.summary == second.summary
+        assert first.report().to_json() == second.report().to_json()
+
+    def test_different_seed_differs(self):
+        first = run_scenario("steady-baseline", preset="small", seed=7)
+        other = run_scenario("steady-baseline", preset="small", seed=8)
+        assert first.summary != other.summary
+
+    def test_matches_hand_wired_runner(self):
+        """steady-baseline small == the equivalent manual ExperimentRunner call."""
+        scenario = get_scenario("steady-baseline")
+        preset = scenario.preset("small")
+        config = ArgusConfig(**{**scenario.config, **preset.config}, seed=7)
+        trace = TraceLibrary(seed=7).constant(**preset.trace_params)
+        system = build_system("argus", config=config)
+        runner = ExperimentRunner(seed=7, dataset_size=preset.dataset_size, drain_s=preset.drain_s)
+        hand_wired = runner.run(system, trace)
+
+        via_scenario = run_scenario(scenario, preset="small", seed=7)
+        assert via_scenario.summary == hand_wired.summary
+
+    def test_drifting_scenario_deterministic(self):
+        first = run_scenario("drift-recalibration", preset="small", seed=3)
+        second = run_scenario("drift-recalibration", preset="small", seed=3)
+        assert first.summary == second.summary
+        assert first.report().to_json() == second.report().to_json()
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_list_json(self, capsys):
+        assert cli_main(["list", "--json"]) == 0
+        names = json.loads(capsys.readouterr().out)
+        assert names == scenario_names()
+
+    def test_list_table(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_describe(self, capsys):
+        assert cli_main(["describe", "fault-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-storm" in out and "preset" in out
+
+    def test_describe_json_round_trips(self, capsys):
+        assert cli_main(["describe", "fault-storm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert Scenario.from_dict(payload) == get_scenario("fault-storm")
+
+    def test_unknown_scenario_exit_code(self, capsys):
+        assert cli_main(["describe", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "run",
+                "--scenario",
+                "steady-baseline",
+                "--preset",
+                "small",
+                "--seed",
+                "0",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"] == "steady-baseline"
+        assert payload["preset"] == "small"
+        assert payload["summary"]["total_completions"] > 0
+        assert len(payload["minutes"]) > 0
+
+
+# --------------------------------------------------------------------- #
+# Supporting pieces
+# --------------------------------------------------------------------- #
+class TestSupportingPieces:
+    def test_cache_warm_prompts_validation(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(cache_warm_prompts=-1)
+
+    def test_runner_rejects_stream_for_other_trace(self):
+        trace = TraceLibrary(seed=0).constant(duration_minutes=2, qpm=10.0)
+        other = TraceLibrary(seed=0).constant(duration_minutes=3, qpm=10.0)
+        ds = PromptDataset.synthetic(count=20, seed=0)
+        stream = PhasedRequestStream(other, phases=[(0.0, ds)], seed=0)
+        runner = ExperimentRunner(seed=0, dataset_size=20)
+        config = ArgusConfig(
+            num_workers=2, classifier_training_prompts=200, profiling_prompts=100
+        )
+        system = build_system("clipper-ha", config=config)
+        with pytest.raises(ValueError):
+            runner.run(system, trace, stream=stream)
+
+    def test_modified_scenario_runs(self):
+        """dataclasses.replace composes with the runtime (the example's trick)."""
+        scenario = get_scenario("autoscale-updown")
+        fixed = replace(
+            scenario,
+            name="autoscale-updown-fixed",
+            config={**scenario.config, "autoscale_enabled": False},
+        )
+        run = run_scenario(fixed, preset="small", seed=0)
+        assert run.summary.workers_added == 0
+        assert run.summary.fleet_peak_workers == run.config.num_workers
