@@ -106,10 +106,13 @@ class LegacyMetricsCollector:
         self._arrivals_by_minute: dict[int, int] = defaultdict(int)
         self.dropped_requests = 0
 
-    def record_arrival(self, arrival_time_s: float) -> None:
+    def record_arrival(self, arrival_time_s: float, tenant: str = "") -> None:
+        # ``tenant`` is accepted for interface parity with the live
+        # collector; the seed implementation predates tenancy and the
+        # harness only runs it on anonymous workloads.
         self._arrivals_by_minute[int(arrival_time_s // 60)] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(self, tenant: str = "") -> None:
         self.dropped_requests += 1
 
     def record_completion(

@@ -15,6 +15,7 @@ the worker writes back this prompt's states so future similar prompts hit.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.cache.network import NetworkModel
@@ -22,6 +23,34 @@ from repro.cache.store import NoiseStateStore, StoredState
 from repro.cache.vectordb import VectorDatabase
 from repro.prompts.embedding import PromptEmbedder
 from repro.prompts.generator import Prompt
+
+
+class _TenantNamespace:
+    """One tenant's private slice of the cache: vector index + state store.
+
+    The store is quota-bounded (per-tenant entry quota); quota evictions
+    delete the matching vector-index entry through the store's eviction
+    hook, so a tenant's churn reshapes only its own working set.
+    """
+
+    def __init__(self, dim: int, quota: int | None) -> None:
+        self.vectordb = VectorDatabase(dim=dim)
+        self.store = NoiseStateStore(
+            capacity_entries=quota if quota is not None else 50_000,
+            on_evict=self._evict_vector,
+        )
+        #: prompt id -> vector-index key, for eviction-time deletes.
+        self._vdb_keys: dict[int, int] = {}
+
+    def _evict_vector(self, prompt_id: int) -> None:
+        key = self._vdb_keys.pop(prompt_id, None)
+        if key is not None:
+            self.vectordb.delete(key)
+
+    def index(self, prompt_id: int, embedding) -> None:
+        self._vdb_keys[prompt_id] = self.vectordb.upsert(
+            embedding, payload={"prompt_id": prompt_id}
+        )
 
 
 @dataclass(frozen=True)
@@ -52,6 +81,7 @@ class ApproximateCache:
         network: NetworkModel | None = None,
         similarity_threshold: float = 0.78,
         checkpoint_steps: tuple[int, ...] = (5, 10, 15, 20, 25),
+        tenants: tuple = (),
     ) -> None:
         self.embedder = embedder or PromptEmbedder()
         self.vectordb = vectordb or VectorDatabase(dim=self.embedder.dim)
@@ -59,12 +89,38 @@ class ApproximateCache:
         self.network = network or NetworkModel()
         self.similarity_threshold = float(similarity_threshold)
         self.checkpoint_steps = tuple(sorted(checkpoint_steps))
+        #: Private namespace per *named* tenant: a tenant's retrievals only
+        #: match its own history and its quota bounds only its own entries.
+        #: The anonymous tenant "" keeps the shared default index/store, so
+        #: an empty tenant set is bit-for-bit the un-namespaced cache.
+        self._namespaces: dict[str, _TenantNamespace] = {
+            spec.name: _TenantNamespace(dim=self.embedder.dim, quota=spec.cache_quota)
+            for spec in tenants
+            if spec.name
+        }
         #: End-to-end retrieval accounting: every attempt with a positive
         #: requested skip counts, whether it died at the network, the vector
         #: index, the state store or the step check.  (The store-level
         #: ``hit_rate`` only sees lookups that already matched the index.)
         self.retrieval_attempts = 0
         self.retrieval_hits = 0
+        self._tenant_attempts: dict[str, int] = defaultdict(int)
+        self._tenant_hits: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # Tenant namespacing
+    # ------------------------------------------------------------------ #
+    def _vectordb_for(self, tenant: str) -> VectorDatabase:
+        namespace = self._namespaces.get(tenant)
+        return namespace.vectordb if namespace is not None else self.vectordb
+
+    def _store_for(self, tenant: str) -> NoiseStateStore:
+        namespace = self._namespaces.get(tenant)
+        return namespace.store if namespace is not None else self.store
+
+    def tenant_entries(self, tenant: str) -> int:
+        """Entries currently held in one tenant's namespace."""
+        return len(self._store_for(tenant))
 
     # ------------------------------------------------------------------ #
     # Retrieval path
@@ -74,8 +130,10 @@ class ApproximateCache:
         outcome = self._retrieve(prompt, requested_skip, now_s)
         if requested_skip > 0:
             self.retrieval_attempts += 1
+            self._tenant_attempts[prompt.tenant] += 1
             if outcome.hit:
                 self.retrieval_hits += 1
+                self._tenant_hits[prompt.tenant] += 1
         return outcome
 
     @property
@@ -84,6 +142,13 @@ class ApproximateCache:
         if self.retrieval_attempts == 0:
             return 0.0
         return self.retrieval_hits / self.retrieval_attempts
+
+    def retrieval_hit_rate_for(self, tenant: str) -> float:
+        """Retrieval hit rate within one tenant's namespace."""
+        attempts = self._tenant_attempts.get(tenant, 0)
+        if attempts == 0:
+            return 0.0
+        return self._tenant_hits.get(tenant, 0) / attempts
 
     def _retrieve(self, prompt: Prompt, requested_skip: int, now_s: float) -> RetrievalOutcome:
         if requested_skip <= 0:
@@ -102,7 +167,7 @@ class ApproximateCache:
             )
 
         query = self.embedder.embed(prompt)
-        match = self.vectordb.nearest(query)
+        match = self._vectordb_for(prompt.tenant).nearest(query)
         if match is None or match.similarity < self.similarity_threshold:
             return RetrievalOutcome(
                 requested_skip=requested_skip,
@@ -113,7 +178,7 @@ class ApproximateCache:
             )
 
         cached_prompt_id = int(match.payload.get("prompt_id", -1))
-        state = self.store.get(cached_prompt_id)
+        state = self._store_for(prompt.tenant).get(cached_prompt_id)
         if state is None:
             return RetrievalOutcome(
                 requested_skip=requested_skip,
@@ -144,9 +209,14 @@ class ApproximateCache:
     # Write-back path
     # ------------------------------------------------------------------ #
     def _store_embedded(self, prompt: Prompt, embedding) -> None:
-        """Index one prompt's embedding and record its noise states."""
-        self.vectordb.upsert(embedding, payload={"prompt_id": prompt.prompt_id})
-        self.store.put(
+        """Index one prompt's embedding and record its noise states (in the
+        prompt's tenant namespace)."""
+        namespace = self._namespaces.get(prompt.tenant)
+        if namespace is not None:
+            namespace.index(prompt.prompt_id, embedding)
+        else:
+            self.vectordb.upsert(embedding, payload={"prompt_id": prompt.prompt_id})
+        self._store_for(prompt.tenant).put(
             StoredState(
                 prompt_id=prompt.prompt_id,
                 prompt_text=prompt.text,
@@ -160,7 +230,7 @@ class ApproximateCache:
         Re-serving a prompt that is already cached is a no-op so the vector
         index does not accumulate duplicates.
         """
-        if self.store.peek(prompt.prompt_id) is not None:
+        if self._store_for(prompt.tenant).peek(prompt.prompt_id) is not None:
             return
         self._store_embedded(prompt, self.embedder.embed(prompt))
 
@@ -172,11 +242,12 @@ class ApproximateCache:
         skipped exactly as per-prompt :meth:`store_states` calls would.
         """
         fresh: list[Prompt] = []
-        seen: set[int] = set()
+        seen: set[tuple[str, int]] = set()
         for prompt in prompts:
-            if prompt.prompt_id in seen or self.store.peek(prompt.prompt_id) is not None:
+            key = (prompt.tenant, prompt.prompt_id)
+            if key in seen or self._store_for(prompt.tenant).peek(prompt.prompt_id) is not None:
                 continue
-            seen.add(prompt.prompt_id)
+            seen.add(key)
             fresh.append(prompt)
         if not fresh:
             return
@@ -193,5 +264,11 @@ class ApproximateCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of store lookups that hit."""
-        return self.store.stats.hit_rate
+        """Fraction of store lookups that hit (all namespaces combined)."""
+        hits = self.store.stats.hits
+        misses = self.store.stats.misses
+        for namespace in self._namespaces.values():
+            hits += namespace.store.stats.hits
+            misses += namespace.store.stats.misses
+        total = hits + misses
+        return hits / total if total else 0.0

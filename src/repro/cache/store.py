@@ -53,12 +53,18 @@ class StoreStatistics:
 
 
 class NoiseStateStore:
-    """LRU-bounded store of intermediate noise states keyed by prompt id."""
+    """LRU-bounded store of intermediate noise states keyed by prompt id.
 
-    def __init__(self, capacity_entries: int = 50_000) -> None:
+    ``on_evict`` (if given) is called with each evicted prompt id — the
+    tenant-namespaced cache uses it to drop the matching vector-index entry
+    so quota evictions keep the two structures in sync.
+    """
+
+    def __init__(self, capacity_entries: int = 50_000, on_evict=None) -> None:
         if capacity_entries <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_entries = int(capacity_entries)
+        self.on_evict = on_evict
         self._entries: OrderedDict[int, StoredState] = OrderedDict()
         self.stats = StoreStatistics()
 
@@ -80,8 +86,10 @@ class NoiseStateStore:
         self._entries[state.prompt_id] = state
         self.stats.writes += 1
         while len(self._entries) > self.capacity_entries:
-            self._entries.popitem(last=False)
+            evicted_id, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_id)
 
     def get(self, prompt_id: int) -> StoredState | None:
         """Fetch a cached state, updating LRU order and hit statistics."""

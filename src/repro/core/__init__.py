@@ -16,10 +16,13 @@ The pieces map one-to-one onto Fig. 3 of the paper:
   the §6 saturation signal (elastic fleet, hysteresis + debounce).
 * :mod:`repro.core.allocator` — the periodic calibration loop tying the
   solver, predictor and ODA together.
+* :mod:`repro.core.admission` — the weighted fair-share admission
+  controller multiplexing tenant contracts over the shared fleet.
 * :mod:`repro.core.system` — :class:`ArgusSystem`, the end-to-end serving
   system (and its prompt-agnostic ablation, PAC).
 """
 
+from repro.core.admission import FairShareAdmission, TenantAdmissionStats
 from repro.core.autoscaler import Autoscaler, ScalingEvent
 from repro.core.config import ArgusConfig
 from repro.core.solver import AllocationPlan, AllocationSolver
@@ -39,7 +42,9 @@ __all__ = [
     "ArgusSystem",
     "Autoscaler",
     "BaseServingSystem",
+    "FairShareAdmission",
     "ScalingEvent",
+    "TenantAdmissionStats",
     "LoadEstimator",
     "OptimizedDistributionAligner",
     "PromptScheduler",

@@ -76,6 +76,17 @@ class Allocator:
             for strategy in (Strategy.AC, Strategy.SM)
         }
         self._num_levels = num_levels
+        #: Solver memo-key tag: plans are interpreted through tenant floors
+        #: and weights, so deployments with different tenant contracts must
+        #: never share cached plans (None for the anonymous workload).
+        self._tenant_signature: tuple | None = (
+            tuple(
+                (spec.name, spec.weight, spec.quality_floor_rank)
+                for spec in self.config.tenants
+            )
+            if self.config.tenants
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Observations
@@ -84,9 +95,16 @@ class Allocator:
         """Record an arrival for load estimation."""
         self.load_estimator.observe_arrival(time_s)
 
-    def observe_affinity(self, strategy: Strategy, predicted_rank: int) -> None:
-        """Record a classifier prediction for the affinity histogram."""
-        self.predictors[Strategy(strategy)].observe(predicted_rank)
+    def observe_affinity(
+        self, strategy: Strategy, predicted_rank: int, weight: float = 1.0
+    ) -> None:
+        """Record a classifier prediction for the affinity histogram.
+
+        ``weight`` is the prompt's tenant fair-share weight, so the PASM the
+        planner aligns against is the *tenant-weighted* affinity histogram
+        (heavier tenants pull the plan harder); 1.0 for anonymous traffic.
+        """
+        self.predictors[Strategy(strategy)].observe(predicted_rank, weight=weight)
 
     # ------------------------------------------------------------------ #
     # Calibration
@@ -146,6 +164,7 @@ class Allocator:
             peak_qpm,
             num_healthy,
             speed_factors=None if all(s == 1.0 for s in speeds) else speeds,
+            signature=self._tenant_signature,
         )
         load_distribution = plan.load_distribution()
 

@@ -17,13 +17,15 @@ from repro.cache.approximate import ApproximateCache
 from repro.cache.network import NetworkModel
 from repro.cluster.cluster import GpuCluster
 from repro.cluster.requests import CompletedRequest, Request
+from repro.core.admission import FairShareAdmission
 from repro.core.config import ArgusConfig
 from repro.metrics.collector import MetricsCollector, ServedSample
-from repro.metrics.report import RunSummary, summarize
+from repro.metrics.report import RunSummary, TenantSummary, summarize
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
 from repro.prompts.generator import Prompt
 from repro.quality.pickscore import PickScoreModel
 from repro.simulation.engine import SimulationEngine
+from repro.workloads.tenants import build_runtimes
 
 
 @dataclass(frozen=True)
@@ -62,8 +64,13 @@ class BaseServingSystem(ABC):
         )
         self.network = network or NetworkModel(seed=self.config.seed + 1)
         self.cache = (
-            ApproximateCache(network=self.network) if use_cache else None
+            ApproximateCache(network=self.network, tenants=self.config.tenants)
+            if use_cache
+            else None
         )
+        #: Resolved per-tenant runtime table (budgets, shares); empty when
+        #: the deployment serves the anonymous single-tenant workload.
+        self.tenant_runtimes = build_runtimes(self.config.tenants, self.config.slo)
         self.collector = MetricsCollector(slo=self.config.slo)
         max_batch = self.config.max_batch_size if self.supports_batching else 1
         self.cluster = GpuCluster(
@@ -79,6 +86,18 @@ class BaseServingSystem(ABC):
             max_batch_size=max_batch,
             batch_timeout_s=self.config.batch_timeout_s if max_batch > 1 else 0.0,
         )
+        #: Weighted fair-share admission controller; None admits everything
+        #: immediately (single-tenant, or fair_share_admission=False).
+        self.admission: FairShareAdmission | None = None
+        if self.config.admission_enabled:
+            self.admission = FairShareAdmission(
+                engine=self.engine,
+                tenants=self.config.tenants,
+                capacity_qps=self._admission_capacity_qps,
+                admit=self._dispatch_admitted,
+                rate_factor=self.config.admission_rate_factor,
+                burst_s=self.config.admission_burst_s,
+            )
         self._request_ids = itertools.count()
         self._started = False
 
@@ -103,18 +122,35 @@ class BaseServingSystem(ABC):
     # Request lifecycle
     # ------------------------------------------------------------------ #
     def submit(self, prompt: Prompt) -> Request | None:
-        """Admit a prompt at the current simulated time."""
+        """Offer a prompt at the current simulated time.
+
+        With fair-share admission configured, a prompt whose tenant is over
+        its share is parked in the admission queue and dispatched later (the
+        wait is charged against the request's own latency); otherwise the
+        prompt is routed and dispatched immediately.
+        """
         now = self.engine.now
-        self.collector.record_arrival(now)
+        self.collector.record_arrival(now, tenant=prompt.tenant)
         self.observe_arrival(now, prompt)
+        if self.admission is not None and not self.admission.offer(now, prompt):
+            return None
+        return self._dispatch_prompt(prompt, arrival_time_s=now)
+
+    def _dispatch_admitted(self, prompt: Prompt, offer_time_s: float) -> None:
+        """Admission-queue drain callback: dispatch with the original offer
+        time so admission delay counts into the request's latency."""
+        self._dispatch_prompt(prompt, arrival_time_s=offer_time_s)
+
+    def _dispatch_prompt(self, prompt: Prompt, arrival_time_s: float) -> Request | None:
+        """Route and dispatch one admitted prompt."""
         route = self.route(prompt)
         if route is None:
-            self.collector.record_drop()
+            self.collector.record_drop(tenant=prompt.tenant)
             return None
         request = Request(
             request_id=next(self._request_ids),
             prompt=prompt,
-            arrival_time_s=now,
+            arrival_time_s=arrival_time_s,
             strategy=route.strategy,
             predicted_rank=route.predicted_rank,
             assigned_rank=route.assigned_rank,
@@ -124,6 +160,27 @@ class BaseServingSystem(ABC):
 
     def observe_arrival(self, now: float, prompt: Prompt) -> None:
         """Hook for load estimators (optional)."""
+
+    def _admission_capacity_qps(self) -> float:
+        """Fleet throughput in requests/second the admission rate is based on.
+
+        The raw ceiling assumes every request serves at the fastest level's
+        nominal cost — for AC that means a cache *hit* on every request.  A
+        miss falls back to full generation, so real AC capacity degrades
+        with the miss rate; the estimate blends the fastest and exact level
+        latencies by the observed retrieval hit rate (Laplace-smoothed
+        towards 0.5 while the sample is small) so admission does not wave
+        through a crowd the fleet cannot actually serve.
+        """
+        strategy = getattr(self, "active_strategy", self.config.default_strategy)
+        ceiling = self.cluster.fleet_ceiling_qpm(strategy) / 60.0
+        if strategy is Strategy.AC and self.cache is not None:
+            fastest = self.zoo.fastest_level(strategy).latency_s
+            exact = self.zoo.exact_level(strategy).latency_s
+            hit = (self.cache.retrieval_hits + 5.0) / (self.cache.retrieval_attempts + 10.0)
+            effective = hit * fastest + (1.0 - hit) * exact
+            ceiling *= fastest / effective
+        return ceiling
 
     def _handle_completion(self, completed: CompletedRequest) -> None:
         prompt = completed.request.prompt
@@ -137,7 +194,7 @@ class BaseServingSystem(ABC):
         """Re-route requests orphaned by a worker failure."""
         route = self.route(request.prompt)
         if route is None:
-            self.collector.record_drop()
+            self.collector.record_drop(tenant=request.prompt.tenant)
             return
         request.predicted_rank = route.predicted_rank
         request.assigned_rank = route.assigned_rank
@@ -185,6 +242,41 @@ class BaseServingSystem(ABC):
             self._started = True
         self.engine.run(until=duration_s + drain_s)
 
+    def _tenant_breakdown(self) -> tuple[TenantSummary, ...]:
+        """Per-tenant outcome rows (empty for the anonymous workload)."""
+        rows = []
+        for runtime in self.tenant_runtimes.values():
+            spec = runtime.spec
+            stats = self.collector.tenant_stats(spec.name, budget_s=runtime.budget_s)
+            cache_hit_rate = (
+                self.cache.retrieval_hit_rate_for(spec.name) if self.cache is not None else 0.0
+            )
+            admission = (
+                self.admission.stats_for(spec.name) if self.admission is not None else None
+            )
+            rows.append(
+                TenantSummary(
+                    name=spec.name,
+                    slo_class=spec.slo_class,
+                    weight=spec.weight,
+                    slo_budget_s=runtime.budget_s,
+                    arrivals=stats["arrivals"],
+                    completions=stats["completions"],
+                    dropped=stats["dropped"],
+                    slo_violation_ratio=stats["violation_ratio"],
+                    mean_relative_quality=stats["mean_relative_quality"],
+                    p99_latency_s=stats["p99_latency_s"],
+                    quality_floor=spec.quality_floor,
+                    cache_hit_rate=cache_hit_rate,
+                    admission_delayed=0 if admission is None else admission.delayed,
+                    mean_admission_wait_s=0.0 if admission is None else admission.mean_wait_s,
+                    admission_backlog=(
+                        0 if self.admission is None else self.admission.backlog(spec.name)
+                    ),
+                )
+            )
+        return tuple(rows)
+
     def summary(self, workload: str, duration_minutes: float) -> RunSummary:
         """Summarise the run for reporting."""
         duration_s = duration_minutes * 60.0
@@ -203,4 +295,5 @@ class BaseServingSystem(ABC):
             workers_retired=self.cluster.workers_retired,
             gpu_hours=self.cluster.gpu_hours(duration_s),
             cost_usd=self.cluster.total_cost_usd(duration_s),
+            tenants=self._tenant_breakdown(),
         )

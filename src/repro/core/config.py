@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.metrics.slo import SloPolicy
 from repro.models.gpus import gpu_by_name
 from repro.models.zoo import Strategy
+from repro.workloads.tenants import TenantSpec, validate_tenants
 
 
 @dataclass
@@ -101,6 +102,30 @@ class ArgusConfig:
     #: How long an under-full batch waits for more arrivals before being
     #: launched anyway (only meaningful when ``max_batch_size > 1``).
     batch_timeout_s: float = 0.25
+    # ----------------------------------------------------------------- #
+    # Multi-tenancy (per-tenant SLO classes, fair-share admission, quotas)
+    # ----------------------------------------------------------------- #
+    #: Tenant contracts served by this deployment.  Empty keeps the
+    #: anonymous single-tenant workload and is bit-for-bit the pre-tenancy
+    #: behaviour; dict entries (e.g. from a scenario JSON round-trip) are
+    #: coerced to :class:`~repro.workloads.tenants.TenantSpec`.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Enable the weighted fair-share admission controller (token buckets +
+    #: deficit round-robin) in front of the scheduler.  Only engages with
+    #: two or more tenants — fairness needs competing parties; False keeps
+    #: tenant tagging/accounting but admits everything immediately (the
+    #: no-isolation baseline the noisy-neighbor scenario compares against).
+    fair_share_admission: bool = True
+    #: Aggregate admission rate as a multiple of the fleet's current
+    #: throughput ceiling.  1.0 keeps total admitted inflow at what the
+    #: fleet can actually serve, so an overloading tenant queues at
+    #: admission (charged to itself) instead of flooding the shared worker
+    #: queues; raise it to trade isolation for more aggressive draining.
+    admission_rate_factor: float = 1.0
+    #: Token-bucket depth per tenant, in seconds of its guaranteed rate
+    #: (bursts up to this much above the sustained share are admitted
+    #: immediately).
+    admission_burst_s: float = 2.0
     #: When True, a worker stops serving while it loads a new model variant.
     #: Argus keeps this False (it serves with the resident model while the
     #: new one loads, §4.6); baselines that naively swap models pay the full
@@ -124,7 +149,16 @@ class ArgusConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.batch_timeout_s < 0:
             raise ValueError("batch_timeout_s must be non-negative")
+        if self.retrieval_latency_threshold_s <= 0:
+            raise ValueError("retrieval_latency_threshold_s must be positive")
+        if self.retrieval_violations_to_switch < 1:
+            raise ValueError("retrieval_violations_to_switch must be >= 1")
+        if self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        if self.backlog_recalibration_min_gap_s < 0:
+            raise ValueError("backlog_recalibration_min_gap_s must be non-negative")
         self.default_strategy = Strategy(self.default_strategy)
+        gpu_by_name(self.gpu)  # raises KeyError for unknown GPU types
         self.gpu_mix = tuple(self.gpu_mix)
         for name in self.gpu_mix:
             gpu_by_name(name)  # raises KeyError for unknown GPU types
@@ -132,6 +166,12 @@ class ArgusConfig:
             raise ValueError("min_workers must be in [1, num_workers]")
         if self.max_workers is not None and self.max_workers < self.num_workers:
             raise ValueError("max_workers must be >= num_workers")
+        if (
+            self.min_workers is not None
+            and self.max_workers is not None
+            and self.min_workers > self.max_workers
+        ):
+            raise ValueError("min_workers must not exceed max_workers")
         if self.provision_delay_s < 0:
             raise ValueError("provision_delay_s must be non-negative")
         if self.autoscale_interval_s <= 0:
@@ -140,15 +180,51 @@ class ArgusConfig:
             raise ValueError("need 0 < scale_down_threshold < scale_up_threshold")
         if self.scale_out_consecutive_ticks < 1 or self.scale_in_consecutive_ticks < 1:
             raise ValueError("debounce tick counts must be >= 1")
+        if self.scale_out_cooldown_s < 0 or self.scale_in_cooldown_s < 0:
+            raise ValueError("scale cooldowns must be non-negative")
         if self.max_scale_step < 1:
             raise ValueError("max_scale_step must be >= 1")
+        if self.autoscale_backlog_factor < 0:
+            raise ValueError("autoscale_backlog_factor must be non-negative")
         if self.cache_warm_prompts < 0:
             raise ValueError("cache_warm_prompts must be non-negative")
+        if self.classifier_training_prompts < 1:
+            raise ValueError("classifier_training_prompts must be >= 1")
+        if self.classifier_epochs < 1:
+            raise ValueError("classifier_epochs must be >= 1")
+        if self.profiling_prompts < 1:
+            raise ValueError("profiling_prompts must be >= 1")
+        if self.worker_memory_gib is not None and self.worker_memory_gib <= 0:
+            raise ValueError("worker_memory_gib must be positive when set")
+        self.tenants = validate_tenants(
+            tuple(
+                spec if isinstance(spec, TenantSpec) else TenantSpec(**spec)
+                for spec in self.tenants
+            )
+        )
+        if self.admission_rate_factor <= 0:
+            raise ValueError("admission_rate_factor must be positive")
+        if self.admission_burst_s < 0:
+            raise ValueError("admission_burst_s must be non-negative")
 
     @property
     def batching_enabled(self) -> bool:
         """Whether workers serve dynamic batches rather than batch-size-1."""
         return self.max_batch_size > 1
+
+    @property
+    def multi_tenant(self) -> bool:
+        """Whether tenant contracts are configured at all."""
+        return len(self.tenants) > 0
+
+    @property
+    def admission_enabled(self) -> bool:
+        """Whether the fair-share admission controller engages.
+
+        Fairness needs at least two competing tenants; a lone tenant (or the
+        anonymous workload) is never delayed at admission.
+        """
+        return self.fair_share_admission and len(self.tenants) >= 2
 
     @property
     def effective_min_workers(self) -> int:

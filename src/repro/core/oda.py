@@ -70,6 +70,24 @@ class ShiftMap:
         matrix = np.tile(normalized, (len(normalized), 1))
         return cls(matrix=matrix)
 
+    def clamped(self, max_rank: int) -> "ShiftMap":
+        """PASM with every target above ``max_rank`` folded onto ``max_rank``.
+
+        This is the per-tenant quality-floor transform: a tenant contracted
+        to level ``max_rank`` keeps the base map's probabilities for allowed
+        targets, and any probability mass the base map would push to more
+        approximate levels lands on its contracted level instead.  Rows
+        still sum to one.
+        """
+        if max_rank < 0:
+            raise ValueError("max_rank must be >= 0")
+        if max_rank >= self.num_levels - 1:
+            return self
+        matrix = self.matrix.copy()
+        matrix[:, max_rank] += matrix[:, max_rank + 1 :].sum(axis=1)
+        matrix[:, max_rank + 1 :] = 0.0
+        return ShiftMap(matrix=matrix)
+
     def probability(self, affinity_rank: int, target_rank: int) -> float:
         """P(target | affinity)."""
         return float(self.matrix[affinity_rank, target_rank])

@@ -24,13 +24,22 @@ class WorkloadDistributionPredictor:
             raise ValueError("lookback must be positive")
         self.num_levels = int(num_levels)
         self.lookback = int(lookback)
-        self._window: deque[int] = deque(maxlen=self.lookback)
+        #: (rank, weight) pairs in arrival order, bounded by the lookback.
+        self._window: deque[tuple[int, float]] = deque(maxlen=self.lookback)
 
-    def observe(self, predicted_rank: int) -> None:
-        """Record one classifier prediction."""
+    def observe(self, predicted_rank: int, weight: float = 1.0) -> None:
+        """Record one classifier prediction.
+
+        ``weight`` scales the observation's mass in the affinity histogram
+        (tenant-weighted planning: a heavier tenant's prompts pull the PASM
+        proportionally harder).  The default 1.0 reproduces the unweighted
+        histogram exactly.
+        """
         if not 0 <= predicted_rank < self.num_levels:
             raise ValueError(f"rank {predicted_rank} outside [0, {self.num_levels - 1}]")
-        self._window.append(int(predicted_rank))
+        if weight <= 0:
+            raise ValueError("observation weight must be positive")
+        self._window.append((int(predicted_rank), float(weight)))
 
     def observe_many(self, predicted_ranks: list[int]) -> None:
         """Record several predictions at once (e.g. warm-up history)."""
@@ -43,10 +52,15 @@ class WorkloadDistributionPredictor:
         return len(self._window)
 
     def affinity_distribution(self) -> np.ndarray:
-        """Current estimate of f(l); uniform when no data has been seen."""
+        """Current estimate of f(l); uniform when no data has been seen.
+
+        Observations contribute their weight; with all-1.0 weights the
+        accumulated masses are exact integers, so this is bit-identical to
+        the original unweighted count histogram.
+        """
         counts = np.zeros(self.num_levels, dtype=np.float64)
-        for rank in self._window:
-            counts[rank] += 1
+        for rank, weight in self._window:
+            counts[rank] += weight
         if counts.sum() == 0:
             return np.full(self.num_levels, 1.0 / self.num_levels)
         return counts / counts.sum()

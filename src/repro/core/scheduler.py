@@ -18,6 +18,7 @@ from repro.cluster.worker import Worker
 from repro.core.oda import ShiftMap
 from repro.models.zoo import Strategy
 from repro.prompts.generator import Prompt
+from repro.workloads.tenants import TenantRuntime
 
 
 @dataclass(frozen=True)
@@ -69,9 +70,18 @@ class PromptScheduler:
         self._predictor: TrainedPredictor | None = None
         self._shift_map: ShiftMap = ShiftMap.identity(num_levels)
         self._strategy: Strategy = Strategy.AC
+        #: Per-tenant runtime table: budgets for SLO-class-aware protection
+        #: and quality floors for routing.  Empty = anonymous workload.
+        self._tenants: dict[str, TenantRuntime] = {}
+        #: Per-tenant PASMs (the base map clamped at each tenant's floor),
+        #: rebuilt by the allocator alongside every base map.
+        self._tenant_shift_maps: dict[str, ShiftMap] = {}
         #: Counters for §5.7's switching-overhead analysis.
         self.shifted_requests = 0
         self.routed_requests = 0
+        #: Requests served above a tenant's contracted level because no
+        #: worker at an allowed level was healthy (capacity emergencies).
+        self.floor_breaches = 0
 
     # ------------------------------------------------------------------ #
     # Configuration (updated by the Allocator / strategy switcher)
@@ -81,10 +91,31 @@ class PromptScheduler:
         self._predictor = predictor
 
     def set_shift_map(self, shift_map: ShiftMap) -> None:
-        """Install a freshly computed PASM."""
+        """Install a freshly computed PASM.
+
+        Clamped per-tenant variants are derived immediately so routing never
+        mixes a fresh base map with stale tenant maps.
+        """
         if shift_map.num_levels != self.num_levels:
             raise ValueError("PASM level count does not match the scheduler")
         self._shift_map = shift_map
+        self._tenant_shift_maps = {
+            name: shift_map.clamped(runtime.max_rank)
+            for name, runtime in self._tenants.items()
+            if runtime.max_rank is not None
+        }
+
+    def set_tenants(self, tenants: dict[str, TenantRuntime]) -> None:
+        """Install the tenant runtime table (budgets and quality floors)."""
+        self._tenants = dict(tenants)
+        for runtime in self._tenants.values():
+            if runtime.max_rank is not None and runtime.max_rank >= self.num_levels:
+                raise ValueError(
+                    f"tenant {runtime.name!r}: quality_floor_rank {runtime.max_rank} "
+                    f"outside the {self.num_levels}-level zoo"
+                )
+        # Re-derive tenant maps against the current base map.
+        self.set_shift_map(self._shift_map)
 
     def set_strategy(self, strategy: Strategy) -> None:
         """Record the active approximation strategy."""
@@ -114,17 +145,35 @@ class PromptScheduler:
         rank = self._predictor.predict_rank(prompt)
         return int(min(max(rank, 0), self.num_levels - 1))
 
+    def _tenant_runtime(self, prompt: Prompt) -> TenantRuntime | None:
+        """The routing contract for this prompt's tenant, if one exists."""
+        if not self._tenants:
+            return None
+        return self._tenants.get(prompt.tenant)
+
     def route(self, prompt: Prompt) -> RoutingDecision | None:
         """Route one prompt; returns None when no healthy worker exists."""
         predicted = self.predict_rank(prompt)
-        assigned = self._shift_map.sample_target(predicted, self.rng)
-        worker = self._find_worker(assigned)
+        runtime = self._tenant_runtime(prompt)
+        shift_map = self._shift_map
+        max_rank: int | None = None
+        budget_s = self.slo_budget_s
+        if runtime is not None:
+            shift_map = self._tenant_shift_maps.get(runtime.name, self._shift_map)
+            max_rank = runtime.max_rank
+            budget_s = runtime.budget_s
+        assigned = shift_map.sample_target(predicted, self.rng)
+        if max_rank is not None and assigned > max_rank:
+            assigned = max_rank
+        worker = self._find_worker(assigned, max_rank=max_rank)
         if worker is None:
             return None
-        worker = self._protect_slo(worker)
+        worker = self._protect_slo(worker, budget_s=budget_s, max_rank=max_rank)
         self.routed_requests += 1
         if worker.level.rank != predicted:
             self.shifted_requests += 1
+        if max_rank is not None and worker.level.rank > max_rank:
+            self.floor_breaches += 1
         return RoutingDecision(
             predicted_rank=predicted,
             assigned_rank=worker.level.rank,
@@ -132,14 +181,28 @@ class PromptScheduler:
             strategy=worker.strategy,
         )
 
-    def _find_worker(self, target_rank: int) -> Worker | None:
+    def _eligible_workers(self, max_rank: int | None) -> list[Worker]:
+        """Healthy workers at levels a tenant's quality floor allows.
+
+        Falls back to the full healthy set when no allowed-level worker
+        exists: serving above the contracted level beats dropping the
+        request outright (the breach is counted in ``floor_breaches``).
+        """
+        healthy = self.cluster.healthy_workers
+        if max_rank is None:
+            return healthy
+        allowed = [w for w in healthy if w.level.rank <= max_rank]
+        return allowed or healthy
+
+    def _find_worker(self, target_rank: int, max_rank: int | None = None) -> Worker | None:
         """Worker at the target rank, or the nearest rank with healthy workers.
 
         Nearest is measured in rank distance with preference for slower
         (lower-rank, higher-quality) levels on ties — shifting down never
-        hurts quality.
+        hurts quality.  ``max_rank`` restricts candidates to a tenant's
+        allowed levels when possible.
         """
-        healthy = self.cluster.healthy_workers
+        healthy = self._eligible_workers(max_rank)
         if not healthy:
             return None
         exact = [w for w in healthy if w.level.rank == target_rank]
@@ -152,20 +215,35 @@ class PromptScheduler:
         candidates = [w for w in healthy if w.level.rank == nearest_rank]
         return self.selector.select(candidates)
 
-    def _protect_slo(self, worker: Worker) -> Worker:
+    def _protect_slo(
+        self,
+        worker: Worker,
+        budget_s: float | None = None,
+        max_rank: int | None = None,
+    ) -> Worker:
         """Escalate to a faster worker when the expected wait blows the SLO.
 
         Mirrors §4.7: "During tail latency conditions, Argus selects smaller
         variants to satisfy SLO constraints."  The escalation prefers the
         slowest (highest-quality) alternative that still fits the budget;
         when nothing fits, it falls back to the globally least-loaded worker.
+
+        ``budget_s`` is the *request's own* latency budget (a tenant's SLO
+        class, not the deployment default); None falls back to the global
+        budget, and a fully unset budget disables the protection.
+        ``max_rank`` keeps the escalation inside a tenant's allowed levels
+        whenever such workers exist.
         """
-        if self.slo_budget_s is None:
+        if budget_s is None:
+            budget_s = self.slo_budget_s
+        if budget_s is None:
             return worker
-        budget = 0.85 * self.slo_budget_s
+        budget = 0.85 * budget_s
         if worker.expected_wait_s() <= budget:
             return worker
-        healthy = self.cluster.healthy_workers
+        healthy = self._eligible_workers(max_rank)
+        if not healthy:
+            return worker
         fitting = [w for w in healthy if w.expected_wait_s() <= budget]
         if fitting:
             # Among workers that meet the budget, keep as much quality as

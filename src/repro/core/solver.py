@@ -150,6 +150,7 @@ class AllocationSolver:
         peak_qpm: np.ndarray,
         num_workers: int,
         speed_factors: list[float] | None = None,
+        signature: tuple | None = None,
     ) -> AllocationPlan:
         """Compute the quality-maximal allocation meeting ``target_qpm``.
 
@@ -161,6 +162,12 @@ class AllocationSolver:
         :meth:`AllocationPlan.worker_assignment` fed speed-sorted ids.  On a
         homogeneous fleet (all speeds 1.0, or None) this is exactly the
         uniform solve.
+
+        ``signature`` is an opaque hashable tag folded into the memo key —
+        callers whose *interpretation* of a plan depends on context the
+        numeric inputs do not capture (e.g. the tenant contract set, whose
+        quality floors reshape the PASM built from the plan) pass it so
+        plans never leak between contexts sharing one solver.
         """
         quality = np.asarray(quality, dtype=np.float64)
         peak_qpm = np.asarray(peak_qpm, dtype=np.float64)
@@ -182,6 +189,7 @@ class AllocationSolver:
             peak_qpm.tobytes(),
             int(num_workers),
             None if speed_factors is None else tuple(speed_factors),
+            signature,
         )
         cached = self._cache.get(key)
         if cached is not None:

@@ -13,6 +13,7 @@ their individual approximation tolerance.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 
 import numpy as np
 
@@ -87,6 +88,9 @@ class ArgusSystem(BaseServingSystem):
             rng=np.random.default_rng(self.config.seed + 7),
             slo_budget_s=self.config.slo.budget_s,
         )
+        if self.tenant_runtimes:
+            # SLO-class budgets and quality floors for per-tenant routing.
+            self.scheduler.set_tenants(self.tenant_runtimes)
         self.allocator = Allocator(
             config=self.config,
             zoo=self.zoo,
@@ -123,7 +127,26 @@ class ArgusSystem(BaseServingSystem):
 
         self._apply_strategy(self.config.default_strategy)
         if self.cache is not None and self.config.cache_warm_prompts > 0:
-            self.cache.warm(self._training_prompts[: self.config.cache_warm_prompts])
+            warm = self._training_prompts[: self.config.cache_warm_prompts]
+            if self.config.tenants:
+                # Retrieval only searches the requesting tenant's namespace,
+                # so warming must happen per tenant (tagged copies of the
+                # warm history, capped at each tenant's quota so the warm-up
+                # cannot churn its own working set out).
+                for spec in self.config.tenants:
+                    if not spec.name:
+                        self.cache.warm(warm)
+                        continue
+                    count = (
+                        len(warm)
+                        if spec.cache_quota is None
+                        else min(len(warm), spec.cache_quota)
+                    )
+                    self.cache.warm(
+                        [replace(prompt, tenant=spec.name) for prompt in warm[:count]]
+                    )
+            else:
+                self.cache.warm(warm)
 
         # Seed the affinity predictor with the training prompts so the first
         # PASM is informative rather than uniform.
@@ -281,7 +304,14 @@ class ArgusSystem(BaseServingSystem):
         decision = self.scheduler.route(prompt)
         if decision is None:
             return None
-        self.allocator.observe_affinity(self.active_strategy, decision.predicted_rank)
+        weight = 1.0
+        if self.tenant_runtimes:
+            runtime = self.tenant_runtimes.get(prompt.tenant)
+            if runtime is not None:
+                weight = runtime.weight
+        self.allocator.observe_affinity(
+            self.active_strategy, decision.predicted_rank, weight=weight
+        )
         return Route(
             worker_id=decision.worker_id,
             predicted_rank=decision.predicted_rank,

@@ -153,7 +153,12 @@ class ExperimentRunner:
         system.schedule_arrivals(stream)
         system.run(duration_s=stream.duration_s, drain_s=self.drain_s)
 
-        offered = {minute: trace.qpm[minute] for minute in range(trace.duration_minutes)}
+        # Ask the stream, not the trace: a multi-tenant stream's offered
+        # load includes per-tenant extra_qpm series on top of the base
+        # trace (for plain streams this is the trace series verbatim).
+        offered = {
+            minute: stream.offered_qpm(minute) for minute in range(trace.duration_minutes)
+        }
         fleet_minutes = system.cluster.fleet_minute_series(trace.duration_minutes)
         minute_series = system.collector.minute_series(
             offered=offered, fleet={m.minute: m for m in fleet_minutes}

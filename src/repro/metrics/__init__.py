@@ -1,14 +1,17 @@
 """Metrics: SLO accounting, time-series collection and summary reports."""
 
-from repro.metrics.slo import SloPolicy
+from repro.metrics.slo import SLO_CLASSES, SloPolicy
 from repro.metrics.collector import MetricsCollector, MinuteStats, ServedSample
-from repro.metrics.report import RunSummary, summarize
+from repro.metrics.report import RunSummary, TenantSummary, fair_share_index, summarize
 
 __all__ = [
+    "SLO_CLASSES",
     "MetricsCollector",
     "MinuteStats",
     "RunSummary",
     "ServedSample",
     "SloPolicy",
+    "TenantSummary",
+    "fair_share_index",
     "summarize",
 ]

@@ -175,17 +175,34 @@ class MetricsCollector:
         self._minute_counts: dict[int, list[int]] = {}
         self._arrivals_by_minute: dict[int, int] = defaultdict(int)
         self.dropped_requests = 0
+        # Tenant dimension: completions carry an interned tenant index in a
+        # parallel column; arrivals and drops keep per-tenant counters.  The
+        # anonymous workload interns a single "" tenant, so single-tenant
+        # overhead is one int per completion.
+        self._tenant_ids: dict[str, int] = {}
+        self._tenant_col = _Column(dtype=np.int32)
+        self._tenant_arrivals: dict[str, int] = defaultdict(int)
+        self._tenant_drops: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record_arrival(self, arrival_time_s: float) -> None:
+    def _tenant_id(self, tenant: str) -> int:
+        """Intern a tenant name into a stable small integer."""
+        tenant_id = self._tenant_ids.get(tenant)
+        if tenant_id is None:
+            tenant_id = self._tenant_ids[tenant] = len(self._tenant_ids)
+        return tenant_id
+
+    def record_arrival(self, arrival_time_s: float, tenant: str = "") -> None:
         """Record an offered request (whether or not it completes)."""
         self._arrivals_by_minute[int(arrival_time_s // 60)] += 1
+        self._tenant_arrivals[tenant] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(self, tenant: str = "") -> None:
         """Record a request the system could not serve at all."""
         self.dropped_requests += 1
+        self._tenant_drops[tenant] += 1
 
     def record_completion(
         self, completed: CompletedRequest, pickscore: float, best_pickscore: float
@@ -199,6 +216,7 @@ class MetricsCollector:
         self._pick.append(pickscore)
         self._best.append(best_pickscore)
         self._relq.append(sample.relative_quality)
+        self._tenant_col.append(self._tenant_id(completed.request.prompt.tenant))
         minute = int(completed.completion_time_s // 60)
         self._minute.append(minute)
         counts = self._minute_counts.get(minute)
@@ -339,3 +357,39 @@ class MetricsCollector:
     def relative_qualities(self) -> list[float]:
         """Per-request relative qualities (input to the user-study simulator)."""
         return self._relq.view().tolist()
+
+    # ------------------------------------------------------------------ #
+    # Per-tenant breakdowns
+    # ------------------------------------------------------------------ #
+    @property
+    def tenant_names(self) -> list[str]:
+        """Tenant names observed so far (arrival, drop or completion)."""
+        names = set(self._tenant_ids) | set(self._tenant_arrivals) | set(self._tenant_drops)
+        return sorted(names)
+
+    def tenant_stats(self, tenant: str, budget_s: float | None = None) -> dict:
+        """Outcome statistics for one tenant, against its own SLO budget.
+
+        ``budget_s`` overrides the collector's global SLO budget (per-tenant
+        SLO classes); None keeps the global policy.  Unknown tenants return
+        all-zero stats.
+        """
+        budget = self.slo.budget_s if budget_s is None else float(budget_s)
+        tenant_id = self._tenant_ids.get(tenant)
+        if tenant_id is None:
+            latencies = np.empty(0)
+            relq = np.empty(0)
+        else:
+            mask = self._tenant_col.view() == tenant_id
+            latencies = self._lat.view()[mask]
+            relq = self._relq.view()[mask]
+        completions = int(latencies.size)
+        violations = int(np.count_nonzero(latencies > budget))
+        return {
+            "arrivals": int(self._tenant_arrivals.get(tenant, 0)),
+            "completions": completions,
+            "dropped": int(self._tenant_drops.get(tenant, 0)),
+            "violation_ratio": violations / completions if completions else 0.0,
+            "mean_relative_quality": float(np.mean(relq)) if completions else 0.0,
+            "p99_latency_s": float(np.percentile(latencies, 99)) if completions else 0.0,
+        }

@@ -9,6 +9,60 @@ from repro.metrics.collector import MetricsCollector
 
 
 @dataclass(frozen=True)
+class TenantSummary:
+    """Per-tenant slice of one serving run (the multi-tenant report row)."""
+
+    name: str
+    slo_class: str
+    weight: float
+    #: Latency budget this tenant's violations are measured against.
+    slo_budget_s: float
+    arrivals: int
+    completions: int
+    dropped: int
+    #: Violations against the *tenant's own* budget, not the global SLO.
+    slo_violation_ratio: float
+    mean_relative_quality: float
+    p99_latency_s: float
+    #: Contracted relative-quality floor (reporting reference, 0 = none).
+    quality_floor: float = 0.0
+    #: Retrieval hit rate within the tenant's cache namespace.
+    cache_hit_rate: float = 0.0
+    #: Requests the fair-share admission controller delayed.
+    admission_delayed: int = 0
+    mean_admission_wait_s: float = 0.0
+    #: Requests still parked in the admission queue when the run (including
+    #: its drain period) ended — offered, never served, never dropped.
+    admission_backlog: int = 0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of this tenant's offered requests served within its SLO."""
+        if self.arrivals == 0:
+            return 0.0
+        within = self.completions * (1.0 - self.slo_violation_ratio)
+        return within / self.arrivals
+
+
+def fair_share_index(tenants: tuple[TenantSummary, ...]) -> float:
+    """Jain's fairness index over weight-normalised served throughput.
+
+    ``x_t = completions_t / weight_t``; the index is 1.0 when every tenant's
+    service is exactly proportional to its weight and approaches ``1/n`` as
+    one tenant monopolises the fleet.  Tenants that offered no traffic are
+    excluded (idle tenants do not count as starved).
+    """
+    shares = [t.completions / t.weight for t in tenants if t.arrivals > 0]
+    if not shares:
+        return 1.0
+    total = sum(shares)
+    if total <= 0:
+        return 1.0
+    squares = sum(share * share for share in shares)
+    return float(total * total / (len(shares) * squares))
+
+
+@dataclass(frozen=True)
 class RunSummary:
     """Scalar summary of one serving run (one system on one workload)."""
 
@@ -41,6 +95,20 @@ class RunSummary:
     gpu_hours: float = 0.0
     #: Dollar cost of those GPU-hours at per-type list prices.
     cost_usd: float = 0.0
+    #: Per-tenant breakdown (empty for the anonymous single-tenant workload).
+    tenants: tuple[TenantSummary, ...] = ()
+
+    @property
+    def fair_share_index(self) -> float:
+        """Jain's index over weight-normalised per-tenant served throughput."""
+        return fair_share_index(self.tenants)
+
+    def tenant(self, name: str) -> TenantSummary:
+        """Look up one tenant's breakdown row by name."""
+        for row in self.tenants:
+            if row.name == name:
+                return row
+        raise KeyError(f"no tenant {name!r} in this summary")
 
     @property
     def goodput_fraction(self) -> float:
@@ -67,6 +135,15 @@ class RunSummary:
         payload = asdict(self)
         payload["goodput_fraction"] = self.goodput_fraction
         payload["cost_per_image_usd"] = self.cost_per_image_usd
+        if self.tenants:
+            for row, summary in zip(payload["tenants"], self.tenants):
+                row["goodput_fraction"] = summary.goodput_fraction
+            payload["tenants"] = list(payload["tenants"])
+            payload["fair_share_index"] = self.fair_share_index
+        else:
+            # Omitted entirely so a tenancy-unconfigured run's JSON dump is
+            # byte-identical to the pre-tenancy format.
+            payload.pop("tenants")
         return payload
 
     def as_row(self) -> dict[str, float | int | str]:
@@ -102,6 +179,7 @@ def summarize(
     workers_retired: int = 0,
     gpu_hours: float = 0.0,
     cost_usd: float = 0.0,
+    tenants: tuple[TenantSummary, ...] = (),
 ) -> RunSummary:
     """Build a :class:`RunSummary` from a collector.
 
@@ -134,6 +212,7 @@ def summarize(
         workers_retired=workers_retired,
         gpu_hours=gpu_hours,
         cost_usd=cost_usd,
+        tenants=tuple(tenants),
     )
 
 

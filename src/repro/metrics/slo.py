@@ -14,6 +14,18 @@ import numpy as np
 from repro.models.variants import SM_VARIANTS
 
 
+#: Named SLO classes for multi-tenant serving: each maps to a latency-budget
+#: multiplier over the largest model's latency (the same unit as
+#: :attr:`SloPolicy.multiplier`).  ``standard`` is special-cased to *inherit*
+#: the deployment's configured policy rather than pin 3.0, so a tenant with
+#: the default class always shares the global budget exactly.
+SLO_CLASSES: dict[str, float] = {
+    "gold": 2.0,
+    "standard": 3.0,
+    "best-effort": 6.0,
+}
+
+
 @dataclass(frozen=True)
 class SloPolicy:
     """Latency service-level objective."""
@@ -45,9 +57,15 @@ class SloPolicy:
         """
         return np.asarray(latencies_s) > self.budget_s
 
-    def violation_ratio(self, latencies_s: list[float]) -> float:
-        """Fraction of requests whose latency violates the SLO."""
-        if not latencies_s:
+    def violation_ratio(self, latencies_s) -> float:
+        """Fraction of requests whose latency violates the SLO.
+
+        Accepts any array-like (list, tuple, numpy array, columnar view —
+        truth-testing a numpy array raises, so no ``if not latencies_s``
+        here) and always returns a plain Python float.
+        """
+        latencies = np.asarray(latencies_s, dtype=np.float64)
+        if latencies.size == 0:
             return 0.0
-        violations = int(np.count_nonzero(self.violation_mask(latencies_s)))
-        return violations / len(latencies_s)
+        violations = int(np.count_nonzero(self.violation_mask(latencies)))
+        return float(violations / latencies.size)

@@ -71,6 +71,10 @@ class Prompt:
     complexity: float
     #: Topic cluster the prompt was drawn from (drives cache similarity).
     topic: int = 0
+    #: Tenant this prompt belongs to ("" = the anonymous single-tenant
+    #: workload).  Drives admission fair-share, per-tenant SLO budgets and
+    #: cache namespacing throughout the serving stack.
+    tenant: str = ""
     metadata: dict = field(default_factory=dict, compare=False, hash=False)
 
     @property

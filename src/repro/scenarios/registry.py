@@ -298,6 +298,130 @@ register(
     )
 )
 
+# --------------------------------------------------------------------- #
+# Multi-tenant scenarios.  Tenant contracts are written as plain dicts (not
+# TenantSpec instances) so the scenario's dict/JSON round-trip is exact;
+# ArgusConfig coerces them on construction.
+# --------------------------------------------------------------------- #
+register(
+    Scenario(
+        name="tenant-fair-share",
+        description=(
+            "Two equal-weight tenants split a steady load: the weighted "
+            "fair-share admission and per-tenant accounting should serve "
+            "them near-identically (Jain index ~1)."
+        ),
+        exercises=("multi-tenancy", "fair-share admission", "per-tenant accounting"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
+        config={
+            "tenants": [
+                {"name": "alpha", "weight": 1.0, "traffic_share": 0.5},
+                {"name": "beta", "weight": 1.0, "traffic_share": 0.5},
+            ],
+        },
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 14, "qpm": 56.0},
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 120}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="tenant-noisy-neighbor",
+        description=(
+            "A flash-crowd tenant floods the fleet while a quiet tenant "
+            "keeps its steady trickle: fair-share admission confines the "
+            "overload to the noisy tenant's own queue, so the quiet "
+            "tenant's SLO survives the crowd."
+        ),
+        exercises=("multi-tenancy", "noisy neighbor", "tenant isolation", "token buckets"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 60.0}),
+        # Conservative aggregate admission: cache-miss churn during the
+        # crowd makes true capacity well below the nominal ceiling, so a
+        # strict-isolation deployment admits with margin and lets the noisy
+        # tenant's own queue absorb the difference.
+        config={"admission_rate_factor": 0.65},
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 18, "qpm": 48.0},
+                config={
+                    **SMALL_FLEET,
+                    "tenants": [
+                        {"name": "quiet", "weight": 1.0, "traffic_share": 0.25},
+                        {
+                            "name": "noisy",
+                            "weight": 1.0,
+                            "traffic_share": 0.75,
+                            "extra_qpm": [0.0] * 6 + [130.0] * 5 + [0.0] * 7,
+                        },
+                    ],
+                },
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={"duration_minutes": 70, "qpm": 120.0},
+                config={
+                    "tenants": [
+                        {"name": "quiet", "weight": 1.0, "traffic_share": 0.25},
+                        {
+                            "name": "noisy",
+                            "weight": 1.0,
+                            "traffic_share": 0.75,
+                            "extra_qpm": [0.0] * 25 + [360.0] * 15 + [0.0] * 30,
+                        },
+                    ],
+                },
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="tenant-tiered-slo",
+        description=(
+            "Gold / standard / best-effort tenants compete at high load: "
+            "SLO-class-aware routing meets the gold tenant's tighter budget "
+            "and its quality floor while best-effort absorbs the slack."
+        ),
+        exercises=("multi-tenancy", "SLO classes", "quality floors", "weighted shares"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 230.0}),
+        config={
+            "tenants": [
+                {
+                    "name": "gold",
+                    "weight": 3.0,
+                    "traffic_share": 0.3,
+                    "slo_class": "gold",
+                    "quality_floor_rank": 2,
+                    "quality_floor": 0.65,
+                },
+                {"name": "standard", "weight": 2.0, "traffic_share": 0.4},
+                {
+                    "name": "best-effort",
+                    "weight": 1.0,
+                    "traffic_share": 0.3,
+                    "slo_class": "best-effort",
+                },
+            ],
+        },
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 16, "qpm": 112.0},
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 90}),
+        },
+    )
+)
+
 register(
     Scenario(
         name="bursty-load-switch",

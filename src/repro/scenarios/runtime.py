@@ -25,6 +25,7 @@ from repro.prompts.dataset import PromptDataset
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import Preset, Scenario
 from repro.workloads.replay import PhasedRequestStream
+from repro.workloads.tenants import _TENANT_SEED_STRIDE, MultiTenantRequestStream
 from repro.workloads.traces import WorkloadTrace
 
 
@@ -99,6 +100,19 @@ def _collect_extras(system: BaseServingSystem, result: ExperimentResult) -> dict
         extras["strategy_switches"] = system.num_strategy_switches()
     if hasattr(system, "retraining_events"):
         extras["retraining_events"] = system.retraining_events
+    if system.config.tenants:
+        extras["fair_share_index"] = result.summary.fair_share_index
+        admission = getattr(system, "admission", None)
+        if admission is not None:
+            extras["admission"] = {
+                name: {
+                    "offered": stats.offered,
+                    "delayed": stats.delayed,
+                    "mean_wait_s": stats.mean_wait_s,
+                    "max_wait_s": stats.max_wait_s,
+                }
+                for name, stats in admission.stats.items()
+            }
     autoscaler = getattr(system, "autoscaler", None)
     if autoscaler is not None:
         extras["autoscale_events"] = [
@@ -145,7 +159,30 @@ def run_scenario(
         seed=seed, dataset_size=preset_spec.dataset_size, drain_s=preset_spec.drain_s
     )
     _, drift, _ = scenario.schedule(preset_spec)
-    if len(drift) <= 1:
+    if config.tenants:
+        if len(drift) > 1:
+            raise ValueError("multi-tenant scenarios cannot also define drift phases")
+        # One dataset per tenant (distinct generator seeds, so tenants have
+        # distinct working sets); tenant 0 keeps the plain runner's dataset
+        # seed, which makes the single-default-tenant run bit-identical.
+        bias = drift[0].complexity_bias if drift else 0.0
+        datasets = {
+            spec.name: PromptDataset.synthetic(
+                count=preset_spec.dataset_size,
+                seed=seed + 1 + _TENANT_SEED_STRIDE * index,
+                complexity_bias=bias,
+            )
+            for index, spec in enumerate(config.tenants)
+        }
+        stream = MultiTenantRequestStream(
+            trace=trace,
+            tenants=config.tenants,
+            datasets=datasets,
+            seed=seed + 2,
+            arrival_kind=scenario.arrival_kind,
+        )
+        result = runner.run(serving, trace, stream=stream)
+    elif len(drift) <= 1:
         bias = drift[0].complexity_bias if drift else 0.0
         dataset = runner.make_dataset(complexity_bias=bias)
         result = runner.run(serving, trace, dataset=dataset, arrival_kind=scenario.arrival_kind)

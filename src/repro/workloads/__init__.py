@@ -10,15 +10,27 @@ timestamped request arrivals.
 from repro.workloads.arrival import ArrivalProcess
 from repro.workloads.replay import PhasedRequestStream, RequestStream, TimedPrompt
 from repro.workloads.shapes import SHAPES, build_shape
+from repro.workloads.tenants import (
+    MultiTenantRequestStream,
+    TenantRuntime,
+    TenantSpec,
+    build_runtimes,
+    resolve_shares,
+)
 from repro.workloads.traces import TraceLibrary, WorkloadTrace
 
 __all__ = [
     "SHAPES",
     "ArrivalProcess",
+    "MultiTenantRequestStream",
     "PhasedRequestStream",
     "RequestStream",
+    "TenantRuntime",
+    "TenantSpec",
     "TimedPrompt",
     "TraceLibrary",
     "WorkloadTrace",
+    "build_runtimes",
     "build_shape",
+    "resolve_shares",
 ]

@@ -211,6 +211,104 @@ class TestPromptScheduler:
             WorkerSelector().select([])
 
 
+class TestProtectSloEdgeCases:
+    """Edge coverage for the §4.7 tail-latency protection."""
+
+    def _build(self, zoo, num_workers=3, slo_budget=12.6):
+        engine = SimulationEngine(seed=0)
+        cluster = GpuCluster(
+            engine, zoo, num_workers=num_workers, initial_level=zoo.exact_level(Strategy.AC)
+        )
+        scheduler = PromptScheduler(
+            cluster, num_levels=6, rng=np.random.default_rng(0), slo_budget_s=slo_budget
+        )
+        scheduler.set_shift_map(ShiftMap.identity(6))
+        return engine, cluster, scheduler
+
+    def _saturate(self, cluster, worker_id, prompts, count=8):
+        from repro.cluster.requests import Request
+
+        for i in range(count):
+            cluster.dispatch(
+                Request(
+                    request_id=1000 + worker_id * 100 + i,
+                    prompt=prompts[i],
+                    arrival_time_s=0.0,
+                    strategy=Strategy.AC,
+                    predicted_rank=0,
+                    assigned_rank=0,
+                ),
+                worker_id=worker_id,
+            )
+
+    def test_empty_candidate_set_returns_original_worker(self, zoo, prompts_small):
+        # All workers fail *after* a routing decision picked one: the
+        # protection must not blow up on an empty healthy set.
+        engine, cluster, scheduler = self._build(zoo)
+        target = cluster.workers[0]
+        for worker in cluster.workers:
+            worker.fail()
+        assert scheduler._protect_slo(target) is target
+
+    def test_all_workers_saturated_falls_back_to_least_loaded(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=3)
+        # Saturate every worker beyond the budget, with worker 2 least bad.
+        self._saturate(cluster, 0, prompts_small, count=9)
+        self._saturate(cluster, 1, prompts_small, count=8)
+        self._saturate(cluster, 2, prompts_small, count=7)
+        chosen = scheduler._protect_slo(cluster.workers[0])
+        assert chosen.worker_id == 2
+
+    def test_no_protection_when_budget_unset(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, slo_budget=None)
+        self._saturate(cluster, 0, prompts_small, count=9)
+        assert scheduler._protect_slo(cluster.workers[0]) is cluster.workers[0]
+
+    def test_per_request_budget_overrides_global(self, zoo, prompts_small):
+        engine, cluster, scheduler = self._build(zoo, num_workers=2, slo_budget=1e9)
+        levels = zoo.levels(Strategy.AC)
+        cluster.apply_assignment({0: levels[0], 1: levels[5]})
+        self._saturate(cluster, 0, prompts_small, count=8)
+        # Under the (huge) global budget the loaded worker is fine...
+        assert scheduler._protect_slo(cluster.workers[0]).worker_id == 0
+        # ...but a request carrying a tight tenant budget escalates.
+        assert scheduler._protect_slo(cluster.workers[0], budget_s=10.0).worker_id == 1
+
+    def test_requeue_race_reroutes_instead_of_raising(self, zoo, prompts_small):
+        # PR 2 inheritance: a routing decision can race a failure/drain on
+        # its target; the dispatch must hand the request back for re-routing.
+        engine = SimulationEngine(seed=0)
+        rerouted = []
+        cluster = GpuCluster(
+            engine,
+            zoo,
+            num_workers=2,
+            initial_level=zoo.exact_level(Strategy.AC),
+            on_requeue=rerouted.append,
+        )
+        scheduler = PromptScheduler(cluster, num_levels=6, rng=np.random.default_rng(0))
+        scheduler.set_shift_map(ShiftMap.identity(6))
+        decision = scheduler.route(prompts_small[0])
+        assert decision is not None
+        from repro.cluster.requests import Request
+
+        request = Request(
+            request_id=0,
+            prompt=prompts_small[0],
+            arrival_time_s=0.0,
+            strategy=Strategy.AC,
+            predicted_rank=decision.predicted_rank,
+            assigned_rank=decision.assigned_rank,
+        )
+        cluster.fail_worker(decision.worker_id)
+        cluster.dispatch(request, decision.worker_id)
+        assert rerouted == [request]
+        # The surviving worker can take the re-route.
+        redo = scheduler.route(prompts_small[0])
+        assert redo is not None
+        assert redo.worker_id != decision.worker_id
+
+
 class TestStrategySwitcher:
     def test_default_is_ac(self):
         assert StrategySwitcher().active is Strategy.AC

@@ -239,7 +239,50 @@ SCENARIO_CHECKS = {
     "cache-cold-start": lambda run: run.config.cache_warm_prompts == 0
     and run.extras["retrieval_hit_rate"] < 1.0,
     "bursty-load-switch": lambda run: run.extras["strategy_switches"] >= 2,
+    "tenant-fair-share": lambda run: _fair_share_ok(run),
+    "tenant-noisy-neighbor": lambda run: _noisy_neighbor_ok(run),
+    "tenant-tiered-slo": lambda run: _tiered_slo_ok(run),
 }
+
+
+def _fair_share_ok(run):
+    """Equal-weight tenants are served near-identically."""
+    summary = run.summary
+    alpha, beta = summary.tenant("alpha"), summary.tenant("beta")
+    balanced = abs(alpha.completions - beta.completions) <= 0.25 * max(
+        alpha.completions, beta.completions
+    )
+    return (
+        summary.fair_share_index > 0.98
+        and alpha.slo_violation_ratio < 0.05
+        and beta.slo_violation_ratio < 0.05
+        and balanced
+    )
+
+
+def _noisy_neighbor_ok(run):
+    """The flash crowd hurts only the tenant that caused it."""
+    quiet = run.summary.tenant("quiet")
+    noisy = run.summary.tenant("noisy")
+    return (
+        quiet.slo_violation_ratio < 0.05
+        and noisy.slo_violation_ratio > 0.3
+        and noisy.admission_delayed > 100
+        and quiet.completions == quiet.arrivals  # nothing of the trickle lost
+    )
+
+
+def _tiered_slo_ok(run):
+    """SLO classes order both violations (against own budgets) and latency."""
+    gold = run.summary.tenant("gold")
+    standard = run.summary.tenant("standard")
+    best_effort = run.summary.tenant("best-effort")
+    return (
+        gold.slo_violation_ratio <= standard.slo_violation_ratio + 0.02
+        and standard.slo_violation_ratio <= best_effort.slo_violation_ratio + 0.02
+        and gold.p99_latency_s < best_effort.p99_latency_s
+        and gold.mean_relative_quality >= gold.quality_floor
+    )
 
 
 class TestRunScenarios:
