@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import re
 import sys
 import time
 
@@ -58,9 +59,13 @@ def main(argv: list[str] | None = None) -> int:
     if "end_to_end_fig16" in benchmarks:
         claims["end_to_end_speedup"] = benchmarks["end_to_end_fig16"]["speedup"]
 
+    # Stamp the trajectory point from the output name (BENCH_PR6.json ->
+    # "PR6") so re-running the harness for a later PR keeps the history
+    # machine-readable without editing this file.
+    match = re.search(r"(PR\d+)", args.output)
     payload = {
         "meta": {
-            "pr": "PR3",
+            "pr": match.group(1) if match else "PR3",
             "preset": preset.name,
             "python": platform.python_version(),
             "numpy": np.__version__,

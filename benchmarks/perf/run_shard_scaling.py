@@ -1,0 +1,168 @@
+"""Shard-scaling benchmark: one scenario, sequential vs N shard processes.
+
+Writes a ``BENCH_*.json`` with one leg per shard count (wall-clock, arrival
+/completion totals, SLO health) plus cross-leg correctness checks:
+
+* every leg must see the identical arrival total (the shard slices union to
+  the sequential stream), and
+* the ``shards=1`` leg must produce a RunSummary digest hex-identical to the
+  plain sequential runner — sharding is opt-in risk only at N > 1.
+
+The headline claim is the 8-shard wall-clock speedup on the ``fig16-xl``
+ten-million-request trace.  On a single-core host that speedup is *work
+removed*, not parallel slack: each shard's join-shortest-expected-wait route
+scan covers only its fleet partition (W/N workers instead of W), which is
+the O(W) term sharding exists to split.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/perf/run_shard_scaling.py \
+        --preset full --output BENCH_PR6.json          # the checked-in run
+    PYTHONPATH=src:. python benchmarks/perf/run_shard_scaling.py \
+        --preset small --output BENCH_shard_ci.json    # CI smoke (~1 min)
+
+Exits non-zero when a correctness check fails; the speedup itself is
+reported, not gated (CI runners are too noisy to gate a wall-clock ratio).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.scenarios.runtime import run_scenario
+from repro.simulation.shard import run_scenario_sharded
+
+#: Shard counts per preset.  The small preset rides the 4-worker SMALL_FLEET,
+#: so it stops at 4; the full preset is the checked-in fig16-xl sweep.
+SHARD_COUNTS = {"small": (1, 2, 4), "full": (1, 2, 4, 8)}
+
+
+def _digest(run) -> str:
+    return hashlib.sha256(
+        json.dumps(run.summary.as_dict(), sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def _run_leg(scenario: str, preset: str, seed: int, shards: int) -> dict:
+    gc.collect()
+    start = time.perf_counter()
+    run = run_scenario_sharded(scenario, preset=preset, seed=seed, shards=shards)
+    wall_s = time.perf_counter() - start
+    summary = run.summary
+    return {
+        "shards": shards,
+        "wall_s": wall_s,
+        "arrivals": summary.total_arrivals,
+        "completions": summary.total_completions,
+        "requests_per_s": summary.total_arrivals / wall_s,
+        "slo_violation_ratio": summary.slo_violation_ratio,
+        "mean_relative_quality": summary.mean_relative_quality,
+        "summary_digest": _digest(run),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="fig16-xl")
+    parser.add_argument("--preset", choices=sorted(SHARD_COUNTS), default="full")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_PR6.json")
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated shard counts overriding the preset's sweep",
+    )
+    parser.add_argument(
+        "--hex-check",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "re-run the sequential runner and require the shards=1 leg to be "
+            "hex-identical; 'auto' enables it on the small preset only (on "
+            "the 10M-request full preset the extra sequential run would "
+            "double the benchmark, and the tier-1 suite pins the same "
+            "identity)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    hex_check = args.hex_check == "on" or (
+        args.hex_check == "auto" and args.preset == "small"
+    )
+    counts = (
+        tuple(int(c) for c in args.shards.split(","))
+        if args.shards
+        else SHARD_COUNTS[args.preset]
+    )
+
+    legs: list[dict] = []
+    for shards in counts:
+        print(f"[{args.scenario}/{args.preset}] shards={shards} ...", flush=True)
+        leg = _run_leg(args.scenario, args.preset, args.seed, shards)
+        baseline = legs[0]["wall_s"] if legs else leg["wall_s"]
+        leg["speedup_vs_sequential"] = baseline / leg["wall_s"]
+        legs.append(leg)
+        print(
+            f"[{args.scenario}/{args.preset}] shards={shards} done: "
+            f"wall={leg['wall_s']:.1f}s n={leg['arrivals']} "
+            f"viol={leg['slo_violation_ratio']:.4f} "
+            f"speedup={leg['speedup_vs_sequential']:.2f}x",
+            flush=True,
+        )
+
+    failures: list[str] = []
+    arrival_totals = {leg["arrivals"] for leg in legs}
+    if len(arrival_totals) != 1:
+        failures.append(f"arrival totals diverge across legs: {sorted(arrival_totals)}")
+    if hex_check and counts and counts[0] == 1:
+        print("checking shards=1 hex-identity against the sequential runner ...", flush=True)
+        sequential = run_scenario(args.scenario, preset=args.preset, seed=args.seed)
+        if _digest(sequential) != legs[0]["summary_digest"]:
+            failures.append("shards=1 summary digest differs from sequential runner")
+
+    claims = {}
+    by_count = {leg["shards"]: leg for leg in legs}
+    for shards, leg in by_count.items():
+        if shards > 1:
+            claims[f"shard_scaling_speedup_{shards}"] = leg["speedup_vs_sequential"]
+
+    payload = {
+        "meta": {
+            "pr": "PR6",
+            "scenario": args.scenario,
+            "preset": args.preset,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        # `speedup` (widest sweep point) and `results_match` make this entry
+        # legible to check_regression.py's standard ratio/consistency gate.
+        "benchmarks": {
+            "shard_scaling": {
+                "legs": legs,
+                "checks_failed": failures,
+                "speedup": legs[-1]["speedup_vs_sequential"],
+                "results_match": not failures,
+            }
+        },
+        "claims": claims,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.output}")
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ class _TenantNamespace:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetrievalOutcome:
     """Result of the cache-retrieval phase for one request."""
 
@@ -106,6 +106,12 @@ class ApproximateCache:
         self.retrieval_hits = 0
         self._tenant_attempts: dict[str, int] = defaultdict(int)
         self._tenant_hits: dict[str, int] = defaultdict(int)
+        #: Nearest-match memo: (tenant, prompt hash) -> (db mutation counter
+        #: at compute time, match).  The index search is a pure function of
+        #: the stored vectors, and long traces cycle the same prompts while
+        #: the index stops growing once every dataset prompt is cached — so
+        #: steady-state retrievals skip the embed + O(entries) scan entirely.
+        self._nearest_memo: dict[tuple[str, int], tuple[int, object]] = {}
 
     # ------------------------------------------------------------------ #
     # Tenant namespacing
@@ -166,8 +172,14 @@ class ApproximateCache:
                 network_failed=True,
             )
 
-        query = self.embedder.embed(prompt)
-        match = self._vectordb_for(prompt.tenant).nearest(query)
+        vectordb = self._vectordb_for(prompt.tenant)
+        memo_key = (prompt.tenant, prompt.content_hash())
+        cached = self._nearest_memo.get(memo_key)
+        if cached is not None and cached[0] == vectordb.mutations:
+            match = cached[1]
+        else:
+            match = vectordb.nearest(self.embedder.embed(prompt))
+            self._nearest_memo[memo_key] = (vectordb.mutations, match)
         if match is None or match.similarity < self.similarity_threshold:
             return RetrievalOutcome(
                 requested_skip=requested_skip,

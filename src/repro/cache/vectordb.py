@@ -69,6 +69,10 @@ class VectorDatabase:
         self._key_index: dict[int, int] = {}
         self._payloads: dict[int, dict] = {}
         self._next_key = 0
+        #: Bumped on every upsert/delete.  Search results are a pure function
+        #: of the stored vectors, so callers may memoise them against this
+        #: counter (the approximate cache's nearest-match memo does).
+        self.mutations = 0
         # IVF state: assignments are valid for rows [0, _assigned_count).
         self._assignments = np.zeros(self._capacity, dtype=np.int64)
         self._centroids: np.ndarray | None = None
@@ -113,6 +117,7 @@ class VectorDatabase:
         (IVF centroids, HNSW links beyond the node itself) is deferred."""
         vector = self._check_vector(vector)
         self._grow_if_needed()
+        self.mutations += 1
         index = self._count
         key = self._next_key
         self._next_key += 1
@@ -136,6 +141,7 @@ class VectorDatabase:
         index = self._key_index.pop(key, None)
         if index is None:
             return False
+        self.mutations += 1
         del self._payloads[key]
         if self._hnsw is not None:
             self._tombstones.add(index)

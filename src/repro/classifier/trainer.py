@@ -9,7 +9,7 @@ Fig. 19.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,9 +42,22 @@ class TrainedPredictor:
     classifier: SoftmaxClassifier
     featurizer: PromptFeaturizer
     history: TrainingHistory
+    #: Rank memo keyed by prompt content hash.  The prediction is a pure
+    #: function of the prompt text and the (frozen-after-fit) weights, so
+    #: repeated prompts — dataset cycling dominates long traces — skip the
+    #: featurize + matmul entirely.  Retraining builds a fresh predictor,
+    #: which empties the memo automatically.
+    _rank_memo: dict[int, int] = field(default_factory=dict, repr=False, compare=False)
 
     def predict_rank(self, prompt: Prompt | str) -> int:
         """Predicted optimal approximation rank for one prompt."""
+        if isinstance(prompt, Prompt):
+            key = prompt.content_hash()
+            rank = self._rank_memo.get(key)
+            if rank is None:
+                rank = self.classifier.predict_one(self.featurizer.featurize(prompt))
+                self._rank_memo[key] = rank
+            return rank
         features = self.featurizer.featurize(prompt)
         return self.classifier.predict_one(features)
 

@@ -63,6 +63,8 @@ class GpuCluster:
         max_batch_size: int = 1,
         batch_timeout_s: float = 0.0,
         gpu_types: Sequence[GpuSpec | str] | None = None,
+        queue_policy: str = "fifo",
+        tenant_weights: dict[str, float] | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("cluster needs at least one worker")
@@ -79,6 +81,8 @@ class GpuCluster:
         self._on_complete = on_complete
         self._on_requeue = on_requeue
         self._blocking_loads = blocking_loads
+        self._queue_policy = queue_policy
+        self._tenant_weights = dict(tenant_weights) if tenant_weights else None
         level = initial_level or zoo.exact_level(Strategy.AC)
         self._initial_level = level
         self.workers: list[Worker] = [
@@ -118,6 +122,8 @@ class GpuCluster:
             batch_timeout_s=self.batch_timeout_s,
             gpu=gpu,
             provisioning=provisioning,
+            queue_policy=self._queue_policy,
+            tenant_weights=self._tenant_weights,
         )
 
     # ------------------------------------------------------------------ #

@@ -8,7 +8,7 @@ from repro.models.zoo import Strategy
 from repro.prompts.generator import Prompt
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One prompt admitted to the serving system."""
 
@@ -20,11 +20,15 @@ class Request:
     predicted_rank: int
     #: Rank the scheduler actually assigned (after the PASM shift).
     assigned_rank: int
+    #: Absolute SLO deadline (arrival time + the requester's latency
+    #: budget).  None outside tenant-priority queueing; requeues keep the
+    #: original deadline, so a re-routed request does not jump the line.
+    deadline_s: float | None = None
     #: Extra routing context (e.g. which system produced the assignment).
     metadata: dict = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedRequest:
     """A served request with its timing and placement outcome."""
 

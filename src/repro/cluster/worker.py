@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro.cache.approximate import ApproximateCache
 from repro.cluster.memory import GpuMemory
+from repro.cluster.queues import TenantPriorityQueue
 from repro.cluster.requests import CompletedRequest, Request
 from repro.models.gpus import GpuSpec, gpu_by_name
 from repro.models.latency import LatencyModel
@@ -53,7 +54,7 @@ class WorkerState(str, Enum):
     RETIRED = "retired"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceProfile:
     """Per-request serving cost computed at batch launch."""
 
@@ -113,6 +114,8 @@ class Worker:
         batch_timeout_s: float = 0.0,
         gpu: GpuSpec | str | None = None,
         provisioning: bool = False,
+        queue_policy: str = "fifo",
+        tenant_weights: dict[str, float] | None = None,
     ) -> None:
         self.worker_id = int(worker_id)
         self.engine = engine
@@ -154,10 +157,28 @@ class Worker:
 
         self.state = WorkerState.PROVISIONING if provisioning else WorkerState.IDLE
         self.stats = WorkerStats()
-        self._queue: deque[Request] = deque()
+        if queue_policy not in ("fifo", "tenant-priority"):
+            raise ValueError(f"unknown queue policy {queue_policy!r}")
+        self.queue_policy = queue_policy
+        #: FIFO keeps the plain deque (the bit-pinned default); the tenant-
+        #: priority discipline swaps in weighted-DRR + per-tenant EDF behind
+        #: the same append/popleft/iter surface.
+        self._queue: deque[Request] | TenantPriorityQueue = (
+            TenantPriorityQueue(tenant_weights)
+            if queue_policy == "tenant-priority"
+            else deque()
+        )
         self._batch: list[Request] = []
         self._forming_event: Event | None = None
         self._serve_event: Event | None = None
+        #: Hot-path caches: the jitter stream and event names are fixed per
+        #: worker, so resolving them once avoids a registry lookup and an
+        #: f-string format on every batch launch.  The stream object is the
+        #: registry's own singleton, so draws are bit-identical to looking
+        #: it up by name each time.
+        self._jitter_rng = engine.rng(f"jitter-w{self.worker_id}")
+        self._serve_event_name = f"serve-w{self.worker_id}"
+        self._forming_event_name = f"batch-form-w{self.worker_id}"
         self._level = level
         self._pending_level: ApproximationLevel | None = None
         self._load_complete_time: float | None = None
@@ -381,7 +402,7 @@ class Worker:
                 self._forming_event = self.engine.schedule_in(
                     self.batch_timeout_s,
                     self._forming_timeout,
-                    name=f"batch-form-w{self.worker_id}",
+                    name=self._forming_event_name,
                 )
             self.state = WorkerState.IDLE
             return
@@ -425,7 +446,7 @@ class Worker:
             self._finish_batch(batch, profiles, start, batch_time, record_level)
 
         self._serve_event = self.engine.schedule_in(
-            batch_time, complete, name=f"serve-w{self.worker_id}"
+            batch_time, complete, name=self._serve_event_name
         )
 
     def _service_profile(self, request: Request) -> ServiceProfile:
@@ -437,9 +458,7 @@ class Worker:
             and 0 <= request.assigned_rank < self.zoo.num_levels(Strategy.AC)
         ):
             level = self.zoo.level(Strategy.AC, request.assigned_rank)
-        jitter = 1.0 + float(
-            self.engine.rng(f"jitter-w{self.worker_id}").normal(0.0, self.service_jitter)
-        )
+        jitter = 1.0 + float(self._jitter_rng.normal(0.0, self.service_jitter))
         jitter = max(0.8, jitter)
         if level.strategy is Strategy.SM or level.skip_steps in (None, 0) or self.cache is None:
             return ServiceProfile(

@@ -71,7 +71,9 @@ class BaseServingSystem(ABC):
         #: Resolved per-tenant runtime table (budgets, shares); empty when
         #: the deployment serves the anonymous single-tenant workload.
         self.tenant_runtimes = build_runtimes(self.config.tenants, self.config.slo)
-        self.collector = MetricsCollector(slo=self.config.slo)
+        self.collector = MetricsCollector(
+            slo=self.config.slo, retain_completed=self.config.retain_completed
+        )
         max_batch = self.config.max_batch_size if self.supports_batching else 1
         self.cluster = GpuCluster(
             engine=self.engine,
@@ -85,6 +87,14 @@ class BaseServingSystem(ABC):
             blocking_loads=self.config.blocking_model_loads,
             max_batch_size=max_batch,
             batch_timeout_s=self.config.batch_timeout_s if max_batch > 1 else 0.0,
+            queue_policy=(
+                "tenant-priority" if self.config.priority_queues_enabled else "fifo"
+            ),
+            tenant_weights={
+                spec.name: spec.weight for spec in self.config.tenants
+            }
+            if self.config.priority_queues_enabled
+            else None,
         )
         #: Weighted fair-share admission controller; None admits everything
         #: immediately (single-tenant, or fair_share_admission=False).
@@ -154,9 +164,18 @@ class BaseServingSystem(ABC):
             strategy=route.strategy,
             predicted_rank=route.predicted_rank,
             assigned_rank=route.assigned_rank,
+            deadline_s=self._deadline_for(prompt, arrival_time_s),
         )
         self.cluster.dispatch(request, route.worker_id)
         return request
+
+    def _deadline_for(self, prompt: Prompt, arrival_time_s: float) -> float | None:
+        """Absolute SLO deadline for priority queueing (None when disabled)."""
+        if not self.config.priority_queues_enabled:
+            return None
+        runtime = self.tenant_runtimes.get(prompt.tenant)
+        budget = runtime.budget_s if runtime is not None else self.config.slo.budget_s
+        return arrival_time_s + budget
 
     def observe_arrival(self, now: float, prompt: Prompt) -> None:
         """Hook for load estimators (optional)."""

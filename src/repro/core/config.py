@@ -126,6 +126,29 @@ class ArgusConfig:
     #: (bursts up to this much above the sustained share are admitted
     #: immediately).
     admission_burst_s: float = 2.0
+    #: Deadline-ordered per-tenant worker queues (weighted deficit
+    #: round-robin across tenant subqueues, earliest-deadline-first within
+    #: each).  Only engages with two or more tenants — with a single queue
+    #: owner the discipline degenerates to FIFO, and keeping the plain deque
+    #: preserves single-tenant bit-identity.
+    tenant_priority_queues: bool = False
+    # ----------------------------------------------------------------- #
+    # Sharded parallel execution (simulation/shard.py)
+    # ----------------------------------------------------------------- #
+    #: Number of shard processes to partition the simulation across.  1 runs
+    #: the plain sequential engine (bit-for-bit the unsharded behaviour);
+    #: N > 1 splits the arrival stream and the fleet into N slices, each on
+    #: its own event loop, synchronized at ``sync_window_s`` barriers.
+    shards: int = 1
+    #: Conservative barrier window for sharded runs: shards exchange fleet /
+    #: metrics deltas and re-align their clocks every this many simulated
+    #: seconds (the shared solver/admission tick granularity).
+    sync_window_s: float = 60.0
+    #: Keep a Python object per completed request in the metrics collector.
+    #: Summaries and minute series come from the columnar store either way;
+    #: disable for very long runs (e.g. the 10M-request fig16-xl trace)
+    #: where tens of millions of retained objects dominate memory and GC.
+    retain_completed: bool = True
     #: When True, a worker stops serving while it loads a new model variant.
     #: Argus keeps this False (it serves with the resident model while the
     #: new one loads, §4.6); baselines that naively swap models pay the full
@@ -206,6 +229,33 @@ class ArgusConfig:
             raise ValueError("admission_rate_factor must be positive")
         if self.admission_burst_s < 0:
             raise ValueError("admission_burst_s must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.sync_window_s <= 0:
+            raise ValueError("sync_window_s must be positive")
+        if self.shards > 1:
+            # Knobs that cannot partition yet are rejected loudly: silently
+            # running them on N independent fleets would mis-simulate the
+            # global control loop they model.
+            if self.autoscale_enabled:
+                raise ValueError(
+                    "shards > 1 is incompatible with autoscale_enabled: the "
+                    "autoscaler is a global control loop over one fleet; run "
+                    "it sequentially (shards=1) or disable autoscaling"
+                )
+            if self.shards > self.num_workers:
+                raise ValueError(
+                    f"shards={self.shards} exceeds num_workers="
+                    f"{self.num_workers}: every shard needs at least one "
+                    "worker in its fleet partition"
+                )
+            if len(self.tenants) >= 2 and self.shards > len(self.tenants):
+                raise ValueError(
+                    f"shards={self.shards} exceeds the {len(self.tenants)} "
+                    "tenants: tenant partitioning places whole tenants on "
+                    "shards, so a multi-tenant run cannot use more shards "
+                    "than it has tenants"
+                )
 
     @property
     def batching_enabled(self) -> bool:
@@ -225,6 +275,15 @@ class ArgusConfig:
         anonymous workload) is never delayed at admission.
         """
         return self.fair_share_admission and len(self.tenants) >= 2
+
+    @property
+    def priority_queues_enabled(self) -> bool:
+        """Whether workers use deadline-ordered per-tenant queues.
+
+        Like admission, the discipline needs at least two competing tenants;
+        below that it stays on the plain FIFO deque (bit-for-bit identical).
+        """
+        return self.tenant_priority_queues and len(self.tenants) >= 2
 
     @property
     def effective_min_workers(self) -> int:

@@ -25,7 +25,7 @@ from repro.cluster.requests import CompletedRequest
 from repro.metrics.slo import SloPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServedSample:
     """One served request annotated with its quality outcome."""
 
@@ -67,6 +67,17 @@ class _Column:
             self._data = grown
         self._data[self._n] = value
         self._n += 1
+
+    def extend(self, values) -> None:
+        """Bulk append (one resize + one vectorized copy)."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        needed = self._n + len(values)
+        if needed > len(self._data):
+            grown = np.empty(max(2 * len(self._data), needed), dtype=self._data.dtype)
+            grown[: self._n] = self._data[: self._n]
+            self._data = grown
+        self._data[self._n : needed] = values
+        self._n = needed
 
     def view(self) -> np.ndarray:
         """Zero-copy view of the filled prefix."""
@@ -228,6 +239,78 @@ class MetricsCollector:
         return sample
 
     # ------------------------------------------------------------------ #
+    # Cross-process merging (sharded execution)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Columnar snapshot of everything recorded so far.
+
+        The snapshot is self-contained and picklable (numpy arrays plus
+        plain dicts), so a shard process can ship its collector across a
+        pipe and the coordinator can rebuild the union with
+        :meth:`absorb_state`.  Per-request ``CompletedRequest`` objects are
+        deliberately not part of the snapshot — merged collectors are
+        measurement-only.
+        """
+        names = [""] * len(self._tenant_ids)
+        for name, tenant_id in self._tenant_ids.items():
+            names[tenant_id] = name
+        return {
+            "lat": self._lat.view().copy(),
+            "pick": self._pick.view().copy(),
+            "best": self._best.view().copy(),
+            "relq": self._relq.view().copy(),
+            "minute": self._minute.view().copy(),
+            "tenant_col": self._tenant_col.view().copy(),
+            "tenant_names": names,
+            "minute_counts": {int(m): list(c) for m, c in self._minute_counts.items()},
+            "arrivals_by_minute": {
+                int(m): int(c) for m, c in self._arrivals_by_minute.items()
+            },
+            "dropped_requests": int(self.dropped_requests),
+            "tenant_arrivals": dict(self._tenant_arrivals),
+            "tenant_drops": dict(self._tenant_drops),
+        }
+
+    def absorb_state(self, state: dict) -> None:
+        """Merge an :meth:`export_state` snapshot into this collector.
+
+        Columns are appended in bulk and tenant indices are re-interned
+        into this collector's namespace, so absorbing N shard snapshots in
+        shard order is deterministic.  Only collectors built with
+        ``retain_completed=False`` may absorb: the snapshot carries no
+        per-request objects, so a sample-retaining collector would end up
+        with columns longer than its ``_completed`` list.
+        """
+        if self.retain_completed:
+            raise RuntimeError(
+                "absorb_state requires a collector built with retain_completed=False"
+            )
+        self._lat.extend(state["lat"])
+        self._pick.extend(state["pick"])
+        self._best.extend(state["best"])
+        self._relq.extend(state["relq"])
+        self._minute.extend(state["minute"])
+        names = list(state["tenant_names"])
+        column = np.asarray(state["tenant_col"], dtype=np.int32)
+        if names and len(column):
+            remap = np.array([self._tenant_id(n) for n in names], dtype=np.int32)
+            column = remap[column]
+        self._tenant_col.extend(column)
+        for minute, (completions, violations) in state["minute_counts"].items():
+            counts = self._minute_counts.get(minute)
+            if counts is None:
+                counts = self._minute_counts[minute] = [0, 0]
+            counts[0] += completions
+            counts[1] += violations
+        for minute, arrivals in state["arrivals_by_minute"].items():
+            self._arrivals_by_minute[minute] += arrivals
+        self.dropped_requests += state["dropped_requests"]
+        for tenant, count in state["tenant_arrivals"].items():
+            self._tenant_arrivals[tenant] += count
+        for tenant, count in state["tenant_drops"].items():
+            self._tenant_drops[tenant] += count
+
+    # ------------------------------------------------------------------ #
     # Sample access (compatibility view)
     # ------------------------------------------------------------------ #
     @property
@@ -324,6 +407,11 @@ class MetricsCollector:
     def total_arrivals(self) -> int:
         """Total requests offered."""
         return sum(self._arrivals_by_minute.values())
+
+    @property
+    def total_slo_violations(self) -> int:
+        """Total completions that violated the latency SLO (incremental)."""
+        return sum(counts[1] for counts in self._minute_counts.values())
 
     def slo_violation_ratio(self) -> float:
         """Fraction of served requests violating the latency SLO."""

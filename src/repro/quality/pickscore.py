@@ -123,12 +123,14 @@ class PickScoreModel:
     # ------------------------------------------------------------------ #
     def score(self, prompt: Prompt, strategy: Strategy | str, rank: int) -> float:
         """PickScore of the image generated at ``rank`` under ``strategy``."""
-        strategy = Strategy(strategy)
+        if strategy.__class__ is not Strategy:
+            strategy = Strategy(strategy)
         if rank < 0 or rank >= self.num_levels:
             raise ValueError(f"rank {rank} outside [0, {self.num_levels - 1}]")
         key = (prompt.content_hash(), strategy, rank)
-        if key in self._score_cache:
-            return self._score_cache[key]
+        cached = self._score_cache.get(key)
+        if cached is not None:
+            return cached
         best = self.best_score(prompt)
         tolerance = self.tolerance_rank(prompt, strategy)
         rng = self._prompt_rng(prompt, f"score-{strategy.value}-{rank}")

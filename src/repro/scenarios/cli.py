@@ -5,7 +5,8 @@ Commands::
     python -m repro list [--json]
     python -m repro describe <scenario> [--json]
     python -m repro run --scenario <name> [--preset small|full] [--seed N]
-                        [--system argus] [--output report.json]
+                        [--system argus] [--shards N] [--sync-window-s S]
+                        [--output report.json]
 
 ``list --json`` prints the scenario names as a JSON array — the CI scenario
 matrix is generated from exactly that output.  ``run`` writes a
@@ -107,7 +108,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _lookup(args)
     if scenario is None:
         return 2
-    run = run_scenario(scenario, preset=args.preset, seed=args.seed, system=args.system)
+    run = run_scenario(
+        scenario,
+        preset=args.preset,
+        seed=args.seed,
+        system=args.system,
+        shards=args.shards,
+        sync_window_s=args.sync_window_s,
+    )
     report = run.report()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -159,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--system", default=None, choices=SYSTEM_NAMES,
         help="serve with a different system than the scenario default",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="partition the run across N shard processes (1 = sequential)",
+    )
+    run_parser.add_argument(
+        "--sync-window-s", type=float, default=None, dest="sync_window_s",
+        help="barrier window in simulated seconds for sharded runs",
     )
     run_parser.add_argument("--output", default=None, help="write the JSON report here")
     run_parser.add_argument("--quiet", action="store_true", help="suppress the summary printout")

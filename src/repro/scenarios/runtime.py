@@ -24,7 +24,7 @@ from repro.metrics.report import ScenarioReport
 from repro.prompts.dataset import PromptDataset
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import Preset, Scenario
-from repro.workloads.replay import PhasedRequestStream
+from repro.workloads.replay import PhasedRequestStream, RequestStream
 from repro.workloads.tenants import _TENANT_SEED_STRIDE, MultiTenantRequestStream
 from repro.workloads.traces import WorkloadTrace
 
@@ -61,11 +61,86 @@ class ScenarioRun:
         )
 
 
-def build_config(scenario: Scenario, preset: Preset, seed: int) -> ArgusConfig:
-    """Merge scenario- and preset-level overrides into a fresh config."""
-    overrides = {**scenario.config, **preset.config}
+def build_config(
+    scenario: Scenario, preset: Preset, seed: int, extra: dict | None = None
+) -> ArgusConfig:
+    """Merge scenario- and preset-level overrides into a fresh config.
+
+    ``extra`` overrides win over both (the shard runner uses this to give
+    each shard its fleet slice without editing the scenario spec).
+    """
+    overrides = {**scenario.config, **preset.config, **(extra or {})}
     overrides["seed"] = int(seed)
     return ArgusConfig(**overrides)
+
+
+def build_stream(
+    scenario: Scenario,
+    preset: Preset,
+    config: ArgusConfig,
+    trace: WorkloadTrace,
+    seed: int,
+) -> RequestStream:
+    """Build the scenario's full request stream over ``trace``.
+
+    This is the single source of truth for all three workload shapes —
+    multi-tenant, plain and drifting — with the exact dataset/arrival seed
+    derivations the runner has always used (tenant ``i`` draws arrivals at
+    ``seed + 2 + 7919 * i`` and prompts at ``seed + 1 + 7919 * i``; the plain
+    stream is ``seed + 2`` arrivals over a ``seed + 1`` dataset).  Shard
+    processes rebuild this same full stream and filter it, which is what
+    keeps a partitioned run's arrival sequence identical to the sequential
+    one's.
+    """
+    _, drift, _ = scenario.schedule(preset)
+    if config.tenants:
+        if len(drift) > 1:
+            raise ValueError("multi-tenant scenarios cannot also define drift phases")
+        # One dataset per tenant (distinct generator seeds, so tenants have
+        # distinct working sets); tenant 0 keeps the plain runner's dataset
+        # seed, which makes the single-default-tenant run bit-identical.
+        bias = drift[0].complexity_bias if drift else 0.0
+        datasets = {
+            spec.name: PromptDataset.synthetic(
+                count=preset.dataset_size,
+                seed=seed + 1 + _TENANT_SEED_STRIDE * index,
+                complexity_bias=bias,
+            )
+            for index, spec in enumerate(config.tenants)
+        }
+        return MultiTenantRequestStream(
+            trace=trace,
+            tenants=config.tenants,
+            datasets=datasets,
+            seed=seed + 2,
+            arrival_kind=scenario.arrival_kind,
+        )
+    if len(drift) <= 1:
+        bias = drift[0].complexity_bias if drift else 0.0
+        dataset = PromptDataset.synthetic(
+            count=preset.dataset_size, seed=seed + 1, complexity_bias=bias
+        )
+        return RequestStream(
+            trace=trace, dataset=dataset, seed=seed + 2, arrival_kind=scenario.arrival_kind
+        )
+    # One dataset per phase.  Each phase needs its own generator seed:
+    # prompt quality is keyed on the prompt *text*, so re-biasing the
+    # same seed would produce prompts that score identically to the
+    # originals and the drift would be invisible to the detector.
+    phases = [
+        (
+            phase.start_minute * 60.0,
+            PromptDataset.synthetic(
+                count=preset.dataset_size,
+                seed=seed + 1 + 1000 * index,
+                complexity_bias=phase.complexity_bias,
+            ),
+        )
+        for index, phase in enumerate(drift)
+    ]
+    return PhasedRequestStream(
+        trace=trace, phases=phases, seed=seed + 2, arrival_kind=scenario.arrival_kind
+    )
 
 
 def _apply_schedules(system: BaseServingSystem, scenario: Scenario, preset: Preset) -> None:
@@ -133,6 +208,8 @@ def run_scenario(
     preset: str = "full",
     seed: int | None = None,
     system: str | None = None,
+    shards: int | None = None,
+    sync_window_s: float | None = None,
 ) -> ScenarioRun:
     """Run a scenario (instance or registered name) under a preset.
 
@@ -140,7 +217,10 @@ def run_scenario(
     stochastic component — same (scenario, preset, seed) means a
     bit-identical run.  ``system`` overrides the scenario's serving system
     (any :func:`~repro.experiments.runner.build_system` name), e.g. to run
-    the same workload through a baseline.
+    the same workload through a baseline.  ``shards`` / ``sync_window_s``
+    override the config's sharding knobs; any effective ``shards > 1``
+    delegates to :func:`repro.simulation.shard.run_scenario_sharded`
+    (``shards=1`` always takes this sequential path, bit-for-bit).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -150,7 +230,24 @@ def run_scenario(
         seed = scenario.default_seed
     seed = int(seed)
 
-    config = build_config(scenario, preset_spec, seed)
+    extra: dict = {}
+    if shards is not None:
+        extra["shards"] = int(shards)
+    if sync_window_s is not None:
+        extra["sync_window_s"] = float(sync_window_s)
+    config = build_config(scenario, preset_spec, seed, extra=extra)
+    if config.shards > 1:
+        # Local import: the shard coordinator drives this module, not vice versa.
+        from repro.simulation.shard import run_scenario_sharded
+
+        return run_scenario_sharded(
+            scenario,
+            preset=preset_name,
+            seed=seed,
+            system=system,
+            shards=config.shards,
+            sync_window_s=config.sync_window_s,
+        )
     trace = scenario.trace.build(seed=seed, **preset_spec.trace_params)
     serving = build_system(system or scenario.system, config=config)
     _apply_schedules(serving, scenario, preset_spec)
@@ -158,54 +255,8 @@ def run_scenario(
     runner = ExperimentRunner(
         seed=seed, dataset_size=preset_spec.dataset_size, drain_s=preset_spec.drain_s
     )
-    _, drift, _ = scenario.schedule(preset_spec)
-    if config.tenants:
-        if len(drift) > 1:
-            raise ValueError("multi-tenant scenarios cannot also define drift phases")
-        # One dataset per tenant (distinct generator seeds, so tenants have
-        # distinct working sets); tenant 0 keeps the plain runner's dataset
-        # seed, which makes the single-default-tenant run bit-identical.
-        bias = drift[0].complexity_bias if drift else 0.0
-        datasets = {
-            spec.name: PromptDataset.synthetic(
-                count=preset_spec.dataset_size,
-                seed=seed + 1 + _TENANT_SEED_STRIDE * index,
-                complexity_bias=bias,
-            )
-            for index, spec in enumerate(config.tenants)
-        }
-        stream = MultiTenantRequestStream(
-            trace=trace,
-            tenants=config.tenants,
-            datasets=datasets,
-            seed=seed + 2,
-            arrival_kind=scenario.arrival_kind,
-        )
-        result = runner.run(serving, trace, stream=stream)
-    elif len(drift) <= 1:
-        bias = drift[0].complexity_bias if drift else 0.0
-        dataset = runner.make_dataset(complexity_bias=bias)
-        result = runner.run(serving, trace, dataset=dataset, arrival_kind=scenario.arrival_kind)
-    else:
-        # One dataset per phase.  Each phase needs its own generator seed:
-        # prompt quality is keyed on the prompt *text*, so re-biasing the
-        # same seed would produce prompts that score identically to the
-        # originals and the drift would be invisible to the detector.
-        phases = [
-            (
-                phase.start_minute * 60.0,
-                PromptDataset.synthetic(
-                    count=preset_spec.dataset_size,
-                    seed=seed + 1 + 1000 * index,
-                    complexity_bias=phase.complexity_bias,
-                ),
-            )
-            for index, phase in enumerate(drift)
-        ]
-        stream = PhasedRequestStream(
-            trace=trace, phases=phases, seed=seed + 2, arrival_kind=scenario.arrival_kind
-        )
-        result = runner.run(serving, trace, stream=stream)
+    stream = build_stream(scenario, preset_spec, config, trace, seed)
+    result = runner.run(serving, trace, stream=stream)
 
     return ScenarioRun(
         scenario=scenario,

@@ -1,0 +1,792 @@
+"""Sharded parallel execution of scenario runs.
+
+A sharded run partitions one scenario across N shard processes.  Each shard
+owns a slice of the arrival stream and a partition of the fleet, runs its
+own :class:`~repro.simulation.engine.SimulationEngine` event loop over its
+slice, and synchronizes with the coordinator at a conservative time-window
+barrier: no shard's clock advances past a window boundary until every shard
+has reached it and exchanged its fleet/metrics deltas.  All communication
+crosses the process boundary as the explicit message types in
+:mod:`repro.simulation.messages` — there is no shared object graph.
+
+Partitioning
+    *Tenant mode* (two or more tenants): tenants are greedy-bin-packed onto
+    shards by offered load, and each shard filters the full multi-tenant
+    stream down to its tenant set.  Every tenant lives wholly on one shard,
+    so per-tenant SLO accounting, admission fair-share and cache namespaces
+    stay exact.
+
+    *Hash mode* (single-tenant workloads): requests are partitioned by a
+    stable hash of the prompt content, so a given prompt always lands on the
+    same shard and its cache locality survives the split.
+
+    In both modes each shard rebuilds the scenario's *full* request stream
+    with the sequential seed derivations and filters it, so the union of the
+    shard slices is exactly the sequential arrival sequence.
+
+Merging
+    Each shard ships a :class:`~repro.simulation.messages.ShardResult`
+    carrying its collector's columnar snapshot.  The coordinator absorbs the
+    snapshots (in shard order — deterministic) into one measurement-only
+    :class:`~repro.metrics.collector.MetricsCollector` and calls the *same*
+    ``summarize()`` / ``minute_series()`` paths as a sequential run, so the
+    merged report uses identical summary math.
+
+``shards=1`` never enters this module's process machinery: it routes back
+to the plain sequential :func:`~repro.scenarios.runtime.run_scenario`,
+which is what pins bit-identity between the two modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import TenantSummary, summarize
+from repro.simulation import messages
+from repro.workloads.tenants import resolve_shares
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the run: its fleet share and its stream filter."""
+
+    shard_id: int
+    num_shards: int
+    #: Workers in this shard's fleet partition (>= 1).
+    num_workers: int
+    #: Tenants this shard serves, or None for hash-of-prompt partitioning.
+    tenant_names: tuple[str, ...] | None = None
+
+    def accepts(self, prompt) -> bool:
+        """Whether a prompt belongs to this shard's stream slice."""
+        if self.tenant_names is not None:
+            return prompt.tenant in self.tenant_names
+        return prompt.content_hash() % self.num_shards == self.shard_id
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full partition: one :class:`ShardSpec` per shard process."""
+
+    mode: str  # "tenant" or "hash"
+    shards: tuple[ShardSpec, ...]
+
+
+def _split_workers(total: int, weights: list[float]) -> list[int]:
+    """Largest-remainder proportional split with a floor of 1 worker/shard."""
+    n = len(weights)
+    if total < n:
+        raise ValueError(f"cannot split {total} workers across {n} shards")
+    if sum(weights) <= 0:
+        weights = [1.0] * n
+    weight_sum = sum(weights)
+    counts = [1] * n
+    remaining = total - n
+    raw = [remaining * w / weight_sum for w in weights]
+    floors = [int(r) for r in raw]
+    for i in range(n):
+        counts[i] += floors[i]
+    leftover = remaining - sum(floors)
+    order = sorted(range(n), key=lambda i: (-(raw[i] - floors[i]), i))
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def plan_shards(config, trace=None) -> ShardPlan:
+    """Partition a config's workload and fleet into ``config.shards`` slices.
+
+    Multi-tenant deployments partition by tenant (greedy bin-pack by offered
+    load, heaviest first, onto the lightest shard); single-tenant workloads
+    fall back to hashing the prompt content.  Workers are split across
+    shards by largest-remainder proportional to each shard's load, with at
+    least one worker per shard.  ``trace`` sharpens the tenant load estimate
+    with each tenant's ``extra_qpm`` series; without it the bin-pack uses
+    base-trace shares alone.
+    """
+    n = int(config.shards)
+    if len(config.tenants) >= 2:
+        if n > len(config.tenants):
+            raise ValueError(
+                f"shards={n} exceeds the {len(config.tenants)} tenants: tenant "
+                "partitioning places whole tenants on shards, so a run cannot "
+                "use more shards than it has tenants"
+            )
+        shares = resolve_shares(config.tenants)
+        base_total = float(sum(trace.qpm)) if trace is not None else 1.0
+        loads = {
+            spec.name: shares[spec.name] * (base_total if trace is not None else 1.0)
+            + (sum(spec.extra_qpm) if trace is not None else 0.0)
+            for spec in config.tenants
+        }
+        bins: list[list[str]] = [[] for _ in range(n)]
+        bin_loads = [0.0] * n
+        heaviest_first = sorted(config.tenants, key=lambda t: (-loads[t.name], t.name))
+        for spec in heaviest_first:
+            target = min(range(n), key=lambda i: (bin_loads[i], i))
+            bins[target].append(spec.name)
+            bin_loads[target] += loads[spec.name]
+        # Keep each shard's tenant list in the config's tenant order so the
+        # shard config's tenant tuple is a stable subsequence of the full one.
+        config_order = {spec.name: i for i, spec in enumerate(config.tenants)}
+        worker_counts = _split_workers(config.num_workers, bin_loads)
+        specs = tuple(
+            ShardSpec(
+                shard_id=i,
+                num_shards=n,
+                num_workers=worker_counts[i],
+                tenant_names=tuple(sorted(bins[i], key=config_order.__getitem__)),
+            )
+            for i in range(n)
+        )
+        return ShardPlan(mode="tenant", shards=specs)
+    worker_counts = _split_workers(config.num_workers, [1.0] * n)
+    specs = tuple(
+        ShardSpec(shard_id=i, num_shards=n, num_workers=worker_counts[i])
+        for i in range(n)
+    )
+    return ShardPlan(mode="hash", shards=specs)
+
+
+# --------------------------------------------------------------------------- #
+# Shard process
+# --------------------------------------------------------------------------- #
+
+
+class _MessageRecorder:
+    """Wraps a shard system's dispatch/completion/requeue paths so every
+    request movement is captured as an encoded data-plane message.
+
+    Workers hold *bound* references to the system's callbacks, so the
+    recorder rebinds both the cluster-level hooks (for any future workers)
+    and each existing worker's own reference.
+    """
+
+    def __init__(self, serving, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.records: list[dict] = []
+        cluster = serving.cluster
+        engine = serving.engine
+
+        original_dispatch = cluster.dispatch
+        original_complete = serving._handle_completion
+        original_requeue = serving._handle_requeue
+
+        def dispatch(request, worker_id: int) -> None:
+            self.records.append(
+                messages.DispatchMessage(
+                    shard_id=shard_id,
+                    request_id=request.request_id,
+                    worker_id=worker_id,
+                    time_s=engine.now,
+                    tenant=request.prompt.tenant,
+                    prompt_id=request.prompt.prompt_id,
+                    predicted_rank=request.predicted_rank,
+                    assigned_rank=request.assigned_rank,
+                    strategy=str(request.strategy.value),
+                ).encode()
+            )
+            original_dispatch(request, worker_id)
+
+        def on_complete(completed) -> None:
+            self.records.append(
+                messages.CompletionMessage(
+                    shard_id=shard_id,
+                    request_id=completed.request.request_id,
+                    worker_id=completed.worker_id,
+                    completion_time_s=completed.completion_time_s,
+                    latency_s=completed.latency_s,
+                    effective_rank=completed.effective_rank,
+                    cache_hit=completed.cache_hit,
+                ).encode()
+            )
+            original_complete(completed)
+
+        def on_requeue(request) -> None:
+            self.records.append(
+                messages.RequeueMessage(
+                    shard_id=shard_id,
+                    request_id=request.request_id,
+                    time_s=engine.now,
+                    tenant=request.prompt.tenant,
+                ).encode()
+            )
+            original_requeue(request)
+
+        cluster.dispatch = dispatch
+        cluster._on_complete = on_complete
+        cluster._on_requeue = on_requeue
+        for worker in cluster.workers:
+            worker.on_complete = on_complete
+            worker.on_requeue = on_requeue
+
+
+def _build_shard_system(payload: dict):
+    """Build one shard's serving system and its filtered arrival stream."""
+    # Imports are deferred so a spawn-context child only pays them once.
+    from repro.experiments.runner import build_system
+    from repro.scenarios.runtime import build_config, build_stream
+    from repro.scenarios.spec import Scenario
+
+    scenario = Scenario.from_dict(payload["scenario"])
+    preset_spec = scenario.preset(payload["preset"])
+    seed = int(payload["seed"])
+    spec = ShardSpec(
+        shard_id=int(payload["shard_id"]),
+        num_shards=int(payload["num_shards"]),
+        num_workers=int(payload["num_workers"]),
+        tenant_names=(
+            tuple(payload["tenant_names"]) if payload["tenant_names"] is not None else None
+        ),
+    )
+    # The *full* config (and stream) use the scenario's own fleet/tenant
+    # settings, so seeds and arrival interleaves match the sequential run;
+    # the shard's own system gets the fleet slice and its tenant subset.
+    full_config = build_config(scenario, preset_spec, seed)
+    trace = scenario.trace.build(seed=seed, **preset_spec.trace_params)
+    stream = build_stream(scenario, preset_spec, full_config, trace, seed)
+
+    extra: dict = {"num_workers": spec.num_workers, "shards": 1}
+    if spec.tenant_names is not None:
+        extra["tenants"] = tuple(
+            t for t in full_config.tenants if t.name in set(spec.tenant_names)
+        )
+    shard_config = build_config(scenario, preset_spec, seed, extra=extra)
+    serving = build_system(payload["system"] or scenario.system, config=shard_config)
+    # Network-condition timelines are global state replicated identically on
+    # every shard; worker-fault schedules are rejected coordinator-side.
+    from repro.cache.network import NetworkCondition
+
+    _, _, network = scenario.schedule(preset_spec)
+    for window in network:
+        serving.network.schedule_condition(
+            window.start_minute * 60.0,
+            window.end_minute * 60.0,
+            NetworkCondition(window.condition),
+        )
+
+    arrivals = payload.get("arrivals")
+    if arrivals is not None:
+        serving.schedule_arrivals(_replay_arrivals(stream, arrivals))
+    else:
+        serving.schedule_arrivals(_filtered_stream(stream, spec))
+    return serving, spec, trace
+
+
+def _replay_arrivals(stream, arrivals):
+    """Yield a coordinator-partitioned arrival slice as timed prompts.
+
+    ``arrivals`` is the ``(times, slots)`` pair produced by
+    :func:`_partition_arrivals`; the floats are the exact sequential arrival
+    times, so the yielded sequence is bit-identical to filtering the full
+    stream shard-side — without this shard paying the full-stream walk.
+    """
+    from repro.workloads.replay import TimedPrompt
+
+    times, slots = arrivals
+    dataset = stream.dataset
+
+    def iterate():
+        for arrival, slot in zip(times.tolist(), slots.tolist()):
+            yield TimedPrompt(arrival_time_s=arrival, prompt=dataset[slot])
+
+    return iterate()
+
+
+def _filtered_stream(stream, spec: ShardSpec):
+    """This shard's slice of the arrival stream, cheapest path available.
+
+    Hash partitioning on a plain cyclic stream has a fast path: the prompt
+    served at arrival ``i`` is ``dataset[i % len(dataset)]``, so shard
+    membership is a fixed boolean per dataset index.  Precomputing that
+    table lets the generator skip the ``TimedPrompt`` construction and the
+    hash for the (N-1)/N arrivals that belong to other shards — on a
+    10M-request trace each shard walks the full arrival sequence, so this
+    is a large slice of per-shard overhead.  Tenant partitions and phased
+    (drift) streams fall back to filtering the generic stream; either way
+    the yielded (time, prompt) sequence is exactly ``filter(accepts,
+    stream)``.
+    """
+    from repro.workloads.arrival import ArrivalProcess
+    from repro.workloads.replay import RequestStream, TimedPrompt
+
+    if spec.tenant_names is not None or type(stream) is not RequestStream:
+        return (tp for tp in stream if spec.accepts(tp.prompt))
+
+    dataset = stream.dataset
+    size = len(dataset)
+    member = [spec.accepts(dataset[i]) for i in range(size)]
+
+    def iterate():
+        process = ArrivalProcess(seed=stream.seed)
+        index = 0
+        for arrival in process.iter_arrivals(stream.trace, stream.arrival_kind):
+            slot = index % size
+            if member[slot]:
+                yield TimedPrompt(arrival_time_s=arrival, prompt=dataset[slot])
+            index += 1
+
+    return iterate()
+
+
+def _partition_arrivals(stream, plan: ShardPlan):
+    """Split the full arrival sequence into per-shard slices, one pass.
+
+    On a plain cyclic stream the prompt at arrival ``i`` is
+    ``dataset[i % len(dataset)]``, and shard membership (tenant or content
+    hash) is a pure function of the dataset slot — so the coordinator can
+    assign every arrival to its shard in a single vectorized pass.  Without
+    this, each of the N shard processes walks all ~n arrivals to keep its
+    1/N slice; on one core those N walks serialize into the dominant fixed
+    overhead of a sharded run (~60% of the non-fleet per-request cost at
+    N=8).  Returns a ``(times, slots)`` pair per shard, or None when the
+    stream is phased (drift replays a different dataset per phase) or a
+    slot matches no shard — those fall back to shard-side filtering.
+    """
+    from repro.workloads.arrival import ArrivalProcess
+    from repro.workloads.replay import RequestStream
+
+    if type(stream) is not RequestStream:
+        return None
+    dataset = stream.dataset
+    size = len(dataset)
+    shard_of_slot = np.empty(size, dtype=np.int64)
+    for slot in range(size):
+        prompt = dataset[slot]
+        for spec in plan.shards:
+            if spec.accepts(prompt):
+                shard_of_slot[slot] = spec.shard_id
+                break
+        else:
+            return None
+    process = ArrivalProcess(seed=stream.seed)
+    times = np.fromiter(
+        process.iter_arrivals(stream.trace, stream.arrival_kind), dtype=np.float64
+    )
+    slots = np.arange(len(times), dtype=np.int64) % size
+    owners = shard_of_slot[slots]
+    return [
+        (times[owners == spec.shard_id], slots[owners == spec.shard_id])
+        for spec in plan.shards
+    ]
+
+
+def _shard_main(payload: dict, conn) -> None:
+    """Shard process entry point: barrier loop over the connection."""
+    serving, spec, trace = _build_shard_system(payload)
+    recorder = (
+        _MessageRecorder(serving, spec.shard_id) if payload.get("record_messages") else None
+    )
+    collector = serving.collector
+    cluster = serving.cluster
+    last = {"arrivals": 0, "completions": 0, "dropped": 0, "violations": 0, "loads": 0}
+    started = False
+    try:
+        while True:
+            message = messages.decode(conn.recv())
+            if isinstance(message, messages.RunWindow):
+                if not started:
+                    serving.start()
+                    serving._started = True
+                    started = True
+                serving.engine.run(until=message.window_end_s)
+                now = {
+                    "arrivals": collector.total_arrivals,
+                    "completions": collector.total_completions,
+                    "dropped": collector.dropped_requests,
+                    "violations": collector.total_slo_violations,
+                    "loads": cluster.total_model_loads(),
+                }
+                reply = messages.BarrierReached(
+                    shard_id=spec.shard_id,
+                    window_end_s=message.window_end_s,
+                    metrics=messages.MetricsDelta(
+                        shard_id=spec.shard_id,
+                        window_end_s=message.window_end_s,
+                        arrivals=now["arrivals"] - last["arrivals"],
+                        completions=now["completions"] - last["completions"],
+                        dropped=now["dropped"] - last["dropped"],
+                        slo_violations=now["violations"] - last["violations"],
+                    ),
+                    fleet=messages.FleetDelta(
+                        shard_id=spec.shard_id,
+                        window_end_s=message.window_end_s,
+                        active_workers=cluster.fleet_size,
+                        workers_added=cluster.workers_added,
+                        workers_retired=cluster.workers_retired,
+                        model_loads=now["loads"] - last["loads"],
+                    ),
+                )
+                last = now
+                conn.send(reply.encode())
+            elif isinstance(message, messages.Finalize):
+                # Sent as the typed object: the pipe pickles numpy columns
+                # directly instead of round-tripping them through lists.
+                conn.send(_finalize(serving, spec, trace, recorder))
+                return
+            else:  # pragma: no cover - protocol misuse is a programming error
+                raise RuntimeError(f"shard received unexpected message {message!r}")
+    finally:
+        conn.close()
+
+
+def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult:
+    """Assemble the shard's closing :class:`~repro.simulation.messages.ShardResult`."""
+    duration_s = trace.duration_minutes * 60.0
+    cluster = serving.cluster
+    fleet_peak, fleet_mean = cluster.fleet_stats(duration_s)
+    extras: dict = {
+        "arrivals": serving.collector.total_arrivals,
+        "strategy_switches": (
+            serving.num_strategy_switches()
+            if hasattr(serving, "num_strategy_switches")
+            else None
+        ),
+        "retraining_events": getattr(serving, "retraining_events", None),
+    }
+    if serving.cache is not None:
+        # Mirror ApproximateCache.hit_rate: the default store plus every
+        # tenant namespace (tenant-partitioned runs keep hits in the latter).
+        hits = serving.cache.store.stats.hits
+        misses = serving.cache.store.stats.misses
+        for namespace in serving.cache._namespaces.values():
+            hits += namespace.store.stats.hits
+            misses += namespace.store.stats.misses
+        extras["cache_store_hits"] = int(hits)
+        extras["cache_store_misses"] = int(misses)
+        extras["retrieval_hits"] = int(serving.cache.retrieval_hits)
+        extras["retrieval_attempts"] = int(serving.cache.retrieval_attempts)
+    tenant_extras: dict = {}
+    if serving.config.tenants:
+        for row in serving._tenant_breakdown():
+            tenant_extras[row.name] = {"summary": asdict(row)}
+        if serving.admission is not None:
+            for name, stats in serving.admission.stats.items():
+                tenant_extras.setdefault(name, {})["admission"] = {
+                    "offered": stats.offered,
+                    "delayed": stats.delayed,
+                    "mean_wait_s": stats.mean_wait_s,
+                    "max_wait_s": stats.max_wait_s,
+                }
+    return messages.ShardResult(
+        shard_id=spec.shard_id,
+        system_name=serving.name,
+        num_workers=spec.num_workers,
+        collector_state=serving.collector.export_state(),
+        requests_served=cluster.total_requests_served(),
+        batches_served=cluster.total_batches_served(),
+        model_loads=cluster.total_model_loads(),
+        utilization=cluster.utilization(duration_s),
+        fleet_peak_workers=fleet_peak,
+        fleet_mean_workers=fleet_mean,
+        workers_added=cluster.workers_added,
+        workers_retired=cluster.workers_retired,
+        gpu_hours=cluster.gpu_hours(duration_s),
+        cost_usd=cluster.total_cost_usd(duration_s),
+        outstanding_requests=cluster.total_queue_length(),
+        fleet_minutes=[
+            {"minute": fm.minute, "mean_workers": fm.mean_workers, "by_gpu": dict(fm.by_gpu)}
+            for fm in cluster.fleet_minute_series(trace.duration_minutes)
+        ],
+        extras=extras,
+        tenant_extras=tenant_extras,
+        messages=list(recorder.records) if recorder is not None else [],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------------- #
+
+
+def _window_boundaries(total_s: float, window_s: float) -> list[float]:
+    """Barrier times covering (0, total_s], ending exactly at ``total_s``."""
+    boundaries = []
+    t = window_s
+    while t < total_s:
+        boundaries.append(t)
+        t += window_s
+    boundaries.append(total_s)
+    return boundaries
+
+
+def _merge_fleet_minutes(results) -> tuple[list, dict]:
+    """Sum per-shard fleet minute series into a fleet-wide series."""
+    from repro.cluster.cluster import FleetMinute
+
+    minutes: dict[int, dict] = {}
+    for result in results:
+        for row in result.fleet_minutes:
+            entry = minutes.setdefault(row["minute"], {"mean_workers": 0.0, "by_gpu": {}})
+            entry["mean_workers"] += row["mean_workers"]
+            for gpu, value in row["by_gpu"].items():
+                entry["by_gpu"][gpu] = entry["by_gpu"].get(gpu, 0.0) + value
+    series = [
+        FleetMinute(
+            minute=minute,
+            mean_workers=minutes[minute]["mean_workers"],
+            by_gpu=dict(minutes[minute]["by_gpu"]),
+        )
+        for minute in sorted(minutes)
+    ]
+    return series, {fm.minute: fm for fm in series}
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def run_scenario_sharded(
+    scenario,
+    preset: str = "full",
+    seed: int | None = None,
+    system: str | None = None,
+    shards: int | None = None,
+    sync_window_s: float | None = None,
+    record_messages: bool = False,
+):
+    """Run a scenario partitioned across shard processes.
+
+    Returns the same :class:`~repro.scenarios.runtime.ScenarioRun` shape as
+    the sequential runner (``run.system`` is None for N > 1 — there is no
+    single live system object), with a ``"sharding"`` block in the extras.
+    ``shards=1`` delegates straight to the sequential path and is
+    bit-identical to it.  ``record_messages=True`` makes every shard record
+    its data-plane messages into the sharding extras (debug/verification
+    mode; materially enlarges the result).
+    """
+    from repro.experiments.runner import ExperimentResult
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runtime import ScenarioRun, build_config, build_stream, run_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    preset_name = preset
+    preset_spec = scenario.preset(preset_name)
+    if seed is None:
+        seed = scenario.default_seed
+    seed = int(seed)
+
+    extra: dict = {}
+    if shards is not None:
+        extra["shards"] = int(shards)
+    if sync_window_s is not None:
+        extra["sync_window_s"] = float(sync_window_s)
+    config = build_config(scenario, preset_spec, seed, extra=extra)
+    if config.shards <= 1:
+        return run_scenario(
+            scenario, preset=preset_name, seed=seed, system=system, shards=1
+        )
+
+    faults, _, _ = scenario.schedule(preset_spec)
+    if faults:
+        raise ValueError(
+            "sharded runs cannot schedule worker faults: fault events address "
+            "worker ids in the global fleet, which a partitioned run does not "
+            "have; run fault scenarios sequentially (shards=1)"
+        )
+
+    trace = scenario.trace.build(seed=seed, **preset_spec.trace_params)
+    plan = plan_shards(config, trace=trace)
+    scenario_dict = scenario.to_dict()
+    arrival_split = _partition_arrivals(
+        build_stream(scenario, preset_spec, config, trace, seed), plan
+    )
+
+    start_methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in start_methods else "spawn")
+    processes = []
+    conns = []
+    try:
+        for spec in plan.shards:
+            parent_conn, child_conn = ctx.Pipe()
+            payload = {
+                "scenario": scenario_dict,
+                "preset": preset_name,
+                "seed": seed,
+                "system": system,
+                "shard_id": spec.shard_id,
+                "num_shards": spec.num_shards,
+                "num_workers": spec.num_workers,
+                "tenant_names": (
+                    list(spec.tenant_names) if spec.tenant_names is not None else None
+                ),
+                "record_messages": bool(record_messages),
+                "arrivals": (
+                    arrival_split[spec.shard_id] if arrival_split is not None else None
+                ),
+            }
+            process = ctx.Process(
+                target=_shard_main, args=(payload, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            conns.append(parent_conn)
+
+        duration_s = trace.duration_minutes * 60.0
+        boundaries = _window_boundaries(
+            duration_s + preset_spec.drain_s, config.sync_window_s
+        )
+        barrier_log: list[dict] = []
+        for end in boundaries:
+            window = messages.RunWindow(window_end_s=end).encode()
+            for conn in conns:
+                conn.send(window)
+            # The recv below is the barrier: the window's merged deltas exist
+            # only once every shard has reached the boundary.
+            replies = [messages.decode(conn.recv()) for conn in conns]
+            barrier_log.append(
+                {
+                    "window_end_s": end,
+                    "completions": sum(r.metrics.completions for r in replies),
+                    "arrivals": sum(r.metrics.arrivals for r in replies),
+                    "active_workers": sum(r.fleet.active_workers for r in replies),
+                }
+            )
+        finalize = messages.Finalize().encode()
+        for conn in conns:
+            conn.send(finalize)
+        results = sorted(
+            (messages.decode(conn.recv()) for conn in conns), key=lambda r: r.shard_id
+        )
+        for process in processes:
+            process.join(timeout=60.0)
+    finally:
+        for conn in conns:
+            conn.close()
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join()
+
+    # ------------------------------------------------------------------ #
+    # Deterministic merge (shard order)
+    # ------------------------------------------------------------------ #
+    merged = MetricsCollector(slo=config.slo, retain_completed=False)
+    for result in results:
+        merged.absorb_state(result.collector_state)
+
+    duration_minutes = trace.duration_minutes
+    # The same full stream the shards filtered knows the exact offered load
+    # (including per-tenant extra_qpm series), matching the sequential view.
+    full_stream = build_stream(scenario, preset_spec, config, trace, seed)
+    offered = {
+        minute: full_stream.offered_qpm(minute) for minute in range(duration_minutes)
+    }
+    fleet_minutes, fleet_by_minute = _merge_fleet_minutes(results)
+    minute_series = merged.minute_series(offered=offered, fleet=fleet_by_minute)
+
+    total_workers = sum(r.num_workers for r in results)
+    total_batches = sum(r.batches_served for r in results)
+    total_served = sum(r.requests_served for r in results)
+    tenants: tuple[TenantSummary, ...] = ()
+    if config.tenants:
+        rows = {}
+        for result in results:
+            for name, entry in result.tenant_extras.items():
+                if "summary" in entry:
+                    rows[name] = TenantSummary(**entry["summary"])
+        tenants = tuple(rows[spec.name] for spec in config.tenants if spec.name in rows)
+
+    summary = summarize(
+        system=results[0].system_name,
+        workload=trace.name,
+        collector=merged,
+        duration_minutes=duration_minutes,
+        cluster_utilization=sum(r.utilization * r.num_workers for r in results)
+        / max(total_workers, 1),
+        model_loads=sum(r.model_loads for r in results),
+        mean_batch_occupancy=(total_served / total_batches) if total_batches else 1.0,
+        fleet_peak_workers=sum(r.fleet_peak_workers for r in results),
+        fleet_mean_workers=sum(r.fleet_mean_workers for r in results),
+        workers_added=sum(r.workers_added for r in results),
+        workers_retired=sum(r.workers_retired for r in results),
+        gpu_hours=sum(r.gpu_hours for r in results),
+        cost_usd=sum(r.cost_usd for r in results),
+        tenants=tenants,
+    )
+
+    has_cache = any("cache_store_hits" in r.extras for r in results)
+    store_hits = sum(r.extras.get("cache_store_hits", 0) for r in results)
+    store_misses = sum(r.extras.get("cache_store_misses", 0) for r in results)
+    retrieval_hits = sum(r.extras.get("retrieval_hits", 0) for r in results)
+    retrieval_attempts = sum(r.extras.get("retrieval_attempts", 0) for r in results)
+    cache_hit_rate = _ratio(store_hits, store_hits + store_misses) if has_cache else None
+    experiment = ExperimentResult(
+        system=results[0].system_name,
+        workload=trace.name,
+        summary=summary,
+        minute_series=minute_series,
+        extras={
+            "cache_hit_rate": cache_hit_rate,
+            "total_requests": merged.total_arrivals,
+            "fleet_minutes": fleet_minutes,
+        },
+    )
+
+    extras: dict = {
+        "cache_hit_rate": cache_hit_rate,
+        "total_requests": merged.total_arrivals,
+    }
+    if has_cache:
+        extras["retrieval_hit_rate"] = _ratio(retrieval_hits, retrieval_attempts)
+        extras["retrieval_attempts"] = retrieval_attempts
+    switches = [r.extras.get("strategy_switches") for r in results]
+    if any(s is not None for s in switches):
+        extras["strategy_switches"] = sum(s or 0 for s in switches)
+    retrains = [r.extras.get("retraining_events") for r in results]
+    if any(s is not None for s in retrains):
+        extras["retraining_events"] = sum(s or 0 for s in retrains)
+    if config.tenants:
+        extras["fair_share_index"] = summary.fair_share_index
+        admission = {
+            name: entry["admission"]
+            for result in results
+            for name, entry in result.tenant_extras.items()
+            if "admission" in entry
+        }
+        if admission:
+            extras["admission"] = admission
+    extras["sharding"] = {
+        "shards": config.shards,
+        "mode": plan.mode,
+        "sync_window_s": config.sync_window_s,
+        "windows": len(boundaries),
+        "plan": [
+            {
+                "shard": spec.shard_id,
+                "workers": spec.num_workers,
+                "tenants": list(spec.tenant_names) if spec.tenant_names else None,
+            }
+            for spec in plan.shards
+        ],
+        "per_shard": [
+            {
+                "shard": r.shard_id,
+                "arrivals": r.extras.get("arrivals", 0),
+                "requests_served": r.requests_served,
+                "outstanding_requests": r.outstanding_requests,
+                "gpu_hours": r.gpu_hours,
+            }
+            for r in results
+        ],
+        "barriers": barrier_log,
+    }
+    if record_messages:
+        extras["sharding"]["messages"] = {r.shard_id: list(r.messages) for r in results}
+
+    return ScenarioRun(
+        scenario=scenario,
+        preset_name=preset_name,
+        seed=seed,
+        trace=trace,
+        config=config,
+        system=None,
+        result=experiment,
+        extras=extras,
+    )

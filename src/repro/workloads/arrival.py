@@ -29,16 +29,30 @@ class ArrivalProcess:
 
         Within each minute the arrival rate is constant at ``qpm / 60``
         requests per second; inter-arrival gaps are exponential.
+
+        Gaps are drawn as buffered chunks of standard exponentials scaled by
+        the current minute's rate.  ``Generator.exponential(scale)`` is
+        ``scale * standard_exponential()`` consuming the same bitstream, so
+        the arrival sequence is bit-identical to drawing one gap at a time —
+        at a fraction of the per-arrival cost on multi-million-request
+        traces.
         """
         rng = np.random.default_rng(self.seed)
+        chunk = rng.standard_exponential(4096)
+        position = 0
         for minute, qpm in enumerate(trace.qpm):
             if qpm <= 0:
                 continue
             rate_per_s = qpm / 60.0
+            scale = 1.0 / rate_per_s
             t = minute * 60.0
             end = (minute + 1) * 60.0
             while True:
-                t += rng.exponential(1.0 / rate_per_s)
+                if position == 4096:
+                    chunk = rng.standard_exponential(4096)
+                    position = 0
+                t += chunk[position] * scale
+                position += 1
                 if t >= end:
                     break
                 yield float(t)

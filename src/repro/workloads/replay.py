@@ -22,7 +22,7 @@ from repro.workloads.arrival import ArrivalProcess
 from repro.workloads.traces import WorkloadTrace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimedPrompt:
     """A prompt with its arrival time."""
 

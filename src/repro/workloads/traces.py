@@ -44,7 +44,14 @@ class WorkloadTrace:
 
     def qpm_at(self, minute: float) -> float:
         """Offered load at a (possibly fractional) minute index."""
-        index = int(np.clip(int(minute), 0, len(self.qpm) - 1))
+        # Scalar clamp: np.clip on a Python int pays ufunc dispatch on what
+        # can be a per-request call.
+        index = int(minute)
+        last = len(self.qpm) - 1
+        if index < 0:
+            index = 0
+        elif index > last:
+            index = last
         return self.qpm[index]
 
     def scaled(self, factor: float) -> "WorkloadTrace":

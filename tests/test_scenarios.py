@@ -239,6 +239,8 @@ SCENARIO_CHECKS = {
     "cache-cold-start": lambda run: run.config.cache_warm_prompts == 0
     and run.extras["retrieval_hit_rate"] < 1.0,
     "bursty-load-switch": lambda run: run.extras["strategy_switches"] >= 2,
+    "fig16-xl": lambda run: run.summary.slo_violation_ratio < 0.1
+    and run.summary.total_completions > 500,
     "tenant-fair-share": lambda run: _fair_share_ok(run),
     "tenant-noisy-neighbor": lambda run: _noisy_neighbor_ok(run),
     "tenant-tiered-slo": lambda run: _tiered_slo_ok(run),

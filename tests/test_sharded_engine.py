@@ -1,0 +1,433 @@
+"""Sharded parallel execution: partitioning, messages, barriers, parity.
+
+The load-bearing guarantees under test:
+
+* ``shards=1`` is *hex-identical* to the sequential runner (same RunSummary
+  digest), so sharding is opt-in risk only at N > 1.
+* An N-shard run is deterministic (byte-identical reports across repeats)
+  and invariant to the barrier window width.
+* The union of the shard arrival slices is exactly the sequential arrival
+  sequence, whichever filtering path produced them (coordinator-partitioned
+  fast path or shard-side stream filtering).
+* Every message type round-trips through its kind-tagged dict form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArgusConfig
+from repro.scenarios.spec import FaultEvent, Preset, Scenario, TraceSpec
+from repro.scenarios.runtime import build_config, build_stream, run_scenario
+from repro.simulation import messages
+from repro.simulation import shard as shard_mod
+from repro.simulation.shard import (
+    ShardSpec,
+    _filtered_stream,
+    _partition_arrivals,
+    _split_workers,
+    plan_shards,
+    run_scenario_sharded,
+)
+
+
+def _scenario(
+    num_workers: int = 8,
+    tenants=None,
+    dataset_size: int = 120,
+    duration: int = 8,
+    base_qpm: float = 30.0,
+    peak_qpm: float = 48.0,
+    faults=(),
+    **config_extra,
+):
+    config = {"num_workers": num_workers, **config_extra}
+    if tenants is not None:
+        config["tenants"] = tenants
+    preset = Preset(
+        dataset_size=dataset_size,
+        trace_params={
+            "duration_minutes": duration,
+            "base_qpm": base_qpm,
+            "peak_qpm": peak_qpm,
+        },
+    )
+    return Scenario(
+        name="shard-test",
+        description="inline sharding test scenario",
+        trace=TraceSpec(source="library", name="twitter"),
+        config=config,
+        faults=faults,
+        presets={"full": preset, "small": preset},
+    )
+
+
+_TENANTS = [
+    {"name": "alpha", "traffic_share": 0.5},
+    {"name": "beta", "traffic_share": 0.3},
+    {"name": "gamma", "traffic_share": 0.2},
+]
+
+
+def _digest(run) -> str:
+    return hashlib.sha256(
+        json.dumps(run.summary.as_dict(), sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def _report(run) -> str:
+    """Full deterministic report: summary + extras (barrier log included)."""
+    return json.dumps(
+        {"summary": run.summary.as_dict(), "extras": run.extras},
+        sort_keys=True,
+        default=str,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Messages
+# --------------------------------------------------------------------------- #
+
+
+def _collector_state():
+    return {
+        "lat": np.array([0.5, 1.25], dtype=np.float64),
+        "pick": np.array([20.1, 21.0], dtype=np.float64),
+        "best": np.array([21.5, 21.5], dtype=np.float64),
+        "relq": np.array([0.93, 0.97], dtype=np.float64),
+        "minute": np.array([0, 1], dtype=np.int64),
+        "tenant_col": np.array([0, 1], dtype=np.int32),
+        "minute_counts": {0: [1, 0, 1], 1: [1, 1, 0]},
+        "arrivals_by_minute": {0: 1, 1: 1},
+        "tenant_names": ["alpha", "beta"],
+        "total_arrivals": 2,
+        "dropped_requests": 0,
+    }
+
+
+class TestMessages:
+    SAMPLES = [
+        messages.RunWindow(window_end_s=60.0),
+        messages.MetricsDelta(
+            shard_id=1, window_end_s=60.0, arrivals=5, completions=4, dropped=0, slo_violations=1
+        ),
+        messages.FleetDelta(
+            shard_id=1,
+            window_end_s=60.0,
+            active_workers=3,
+            workers_added=0,
+            workers_retired=0,
+            model_loads=2,
+        ),
+        messages.Finalize(),
+        messages.DispatchMessage(
+            shard_id=0,
+            request_id=7,
+            worker_id=2,
+            time_s=12.5,
+            tenant="alpha",
+            prompt_id=91,
+            predicted_rank=1,
+            assigned_rank=2,
+            strategy="approximate",
+        ),
+        messages.CompletionMessage(
+            shard_id=0,
+            request_id=7,
+            worker_id=2,
+            completion_time_s=15.0,
+            latency_s=2.5,
+            effective_rank=2,
+            cache_hit=True,
+        ),
+        messages.RequeueMessage(shard_id=2, request_id=9, time_s=30.0, tenant="beta"),
+    ]
+
+    @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: m.kind)
+    def test_round_trip(self, message):
+        payload = messages.encode(message)
+        assert payload["kind"] == message.kind
+        json.dumps(payload)  # dict form is JSON-serializable
+        assert messages.decode(payload) == message
+
+    def test_barrier_reached_round_trips_nested(self):
+        reached = messages.BarrierReached(
+            shard_id=1,
+            window_end_s=120.0,
+            metrics=self.SAMPLES[1],
+            fleet=self.SAMPLES[2],
+        )
+        decoded = messages.decode(json.loads(json.dumps(reached.encode())))
+        assert decoded == reached
+        assert isinstance(decoded.metrics, messages.MetricsDelta)
+        assert isinstance(decoded.fleet, messages.FleetDelta)
+
+    def test_shard_result_round_trips_numpy_columns(self):
+        result = messages.ShardResult(
+            shard_id=0,
+            system_name="argus",
+            num_workers=4,
+            collector_state=_collector_state(),
+            requests_served=2,
+            batches_served=2,
+            model_loads=1,
+            utilization=0.5,
+            fleet_peak_workers=4,
+            fleet_mean_workers=4.0,
+            workers_added=0,
+            workers_retired=0,
+            gpu_hours=0.1,
+            cost_usd=0.4,
+            outstanding_requests=0,
+        )
+        decoded = messages.decode(json.loads(json.dumps(result.encode())))
+        state = decoded.collector_state
+        for key, dtype in messages._STATE_DTYPES.items():
+            assert state[key].dtype == dtype
+            np.testing.assert_array_equal(state[key], result.collector_state[key])
+        # int minute keys survive the str round-trip of JSON object keys
+        assert set(state["minute_counts"]) == {0, 1}
+        assert state["arrivals_by_minute"] == {0: 1, 1: 1}
+
+    def test_decode_passes_message_instances_through(self):
+        window = messages.RunWindow(window_end_s=5.0)
+        assert messages.decode(window) is window
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown message kind"):
+            messages.decode({"kind": "gossip"})
+
+
+# --------------------------------------------------------------------------- #
+# Partition planning
+# --------------------------------------------------------------------------- #
+
+
+class TestPlanning:
+    def test_split_workers_sums_and_floors(self):
+        counts = _split_workers(10, [5.0, 1.0, 0.0])
+        assert sum(counts) == 10
+        assert min(counts) >= 1
+        assert counts[0] > counts[1]
+
+    def test_split_workers_even_for_equal_weights(self):
+        assert _split_workers(8, [1.0, 1.0, 1.0, 1.0]) == [2, 2, 2, 2]
+
+    def test_split_workers_rejects_too_few(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            _split_workers(2, [1.0, 1.0, 1.0])
+
+    def test_hash_mode_for_single_tenant(self):
+        config = ArgusConfig(num_workers=8, shards=4)
+        plan = plan_shards(config)
+        assert plan.mode == "hash"
+        assert [s.num_workers for s in plan.shards] == [2, 2, 2, 2]
+        assert all(s.tenant_names is None for s in plan.shards)
+
+    def test_tenant_mode_places_whole_tenants(self):
+        config = ArgusConfig(num_workers=8, shards=2, tenants=_TENANTS)
+        plan = plan_shards(config)
+        assert plan.mode == "tenant"
+        placed = [name for spec in plan.shards for name in spec.tenant_names]
+        assert sorted(placed) == ["alpha", "beta", "gamma"]
+        assert sum(s.num_workers for s in plan.shards) == 8
+
+    def test_hash_spec_accepts_partitions_prompts(self):
+        from repro.prompts.dataset import PromptDataset
+
+        specs = [ShardSpec(shard_id=i, num_shards=3, num_workers=1) for i in range(3)]
+        for prompt in PromptDataset.synthetic(count=50, seed=1).prompts:
+            owners = [spec.shard_id for spec in specs if spec.accepts(prompt)]
+            assert len(owners) == 1
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(num_workers=4, shards=0)
+
+    def test_rejects_nonpositive_sync_window(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(num_workers=4, shards=2, sync_window_s=0.0)
+
+    def test_rejects_more_shards_than_workers(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(num_workers=2, shards=4)
+
+    def test_rejects_more_shards_than_tenants(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(num_workers=8, shards=3, tenants=_TENANTS[:2])
+
+    def test_rejects_autoscaling_with_shards(self):
+        with pytest.raises(ValueError):
+            ArgusConfig(num_workers=8, shards=2, autoscale_enabled=True)
+
+
+# --------------------------------------------------------------------------- #
+# Stream slicing
+# --------------------------------------------------------------------------- #
+
+
+def _stream_for(scenario, seed=0):
+    preset = scenario.preset("full")
+    config = build_config(scenario, preset, seed)
+    trace = scenario.trace.build(seed=seed, **preset.trace_params)
+    return build_stream(scenario, preset, config, trace, seed)
+
+
+class TestStreamSlicing:
+    def test_fast_filter_matches_generic_filter(self):
+        stream = _stream_for(_scenario())
+        spec = ShardSpec(shard_id=1, num_shards=3, num_workers=2)
+        fast = [
+            (tp.arrival_time_s, tp.prompt.prompt_id) for tp in _filtered_stream(stream, spec)
+        ]
+        generic = [
+            (tp.arrival_time_s, tp.prompt.prompt_id)
+            for tp in stream
+            if spec.accepts(tp.prompt)
+        ]
+        assert fast == generic
+
+    def test_partitioned_slices_union_to_full_stream(self):
+        scenario = _scenario()
+        stream = _stream_for(scenario)
+        config = build_config(
+            scenario, scenario.preset("full"), 0, extra={"shards": 3}
+        )
+        plan = plan_shards(config)
+        split = _partition_arrivals(stream, plan)
+        assert split is not None and len(split) == 3
+        merged = sorted(
+            (float(t), int(slot))
+            for times, slots in split
+            for t, slot in zip(times, slots)
+        )
+        full = [
+            (tp.arrival_time_s, tp.prompt.prompt_id % len(stream.dataset))
+            for tp in stream
+        ]
+        assert [t for t, _ in merged] == [t for t, _ in full]
+        # each arrival keeps its exact sequential prompt slot
+        dataset = stream.dataset
+        for (_, slot), (_, expected_slot) in zip(merged, full):
+            assert dataset[slot].prompt_id % len(dataset) == expected_slot
+
+    def test_partition_arrivals_declines_phased_streams(self):
+        scenario = _scenario()
+        stream = _stream_for(scenario)
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 2})
+        plan = plan_shards(config)
+
+        class NotARequestStream:
+            pass
+
+        assert _partition_arrivals(NotARequestStream(), plan) is None
+
+    def test_partition_arrivals_declines_multi_tenant_streams(self):
+        # Tenant streams interleave per-tenant arrival processes over
+        # per-tenant datasets, so membership is not slot-stable; tenant-mode
+        # shards keep the shard-side generic filter (proven byte-identical
+        # in TestShardedRuns).
+        scenario = _scenario(tenants=_TENANTS)
+        stream = _stream_for(scenario)
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 3})
+        plan = plan_shards(config)
+        assert _partition_arrivals(stream, plan) is None
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end sharded runs
+# --------------------------------------------------------------------------- #
+
+
+class TestShardedRuns:
+    def test_one_shard_hex_identical_to_sequential(self):
+        sequential = run_scenario("fig16-xl", preset="small", seed=7)
+        sharded = run_scenario_sharded("fig16-xl", preset="small", seed=7, shards=1)
+        assert _digest(sharded) == _digest(sequential)
+
+    def test_nshard_run_is_deterministic(self):
+        scenario = _scenario()
+        first = run_scenario_sharded(scenario, preset="full", seed=3, shards=3)
+        second = run_scenario_sharded(scenario, preset="full", seed=3, shards=3)
+        assert _report(first) == _report(second)
+
+    def test_barrier_window_invariance(self):
+        scenario = _scenario()
+        narrow = run_scenario_sharded(
+            scenario, preset="full", seed=3, shards=3, sync_window_s=30.0
+        )
+        wide = run_scenario_sharded(
+            scenario, preset="full", seed=3, shards=3, sync_window_s=240.0
+        )
+        assert _digest(narrow) == _digest(wide)
+        assert (
+            narrow.extras["sharding"]["per_shard"] == wide.extras["sharding"]["per_shard"]
+        )
+        assert narrow.extras["sharding"]["windows"] > wide.extras["sharding"]["windows"]
+
+    def test_coordinator_partitioning_matches_shard_side_filtering(self, monkeypatch):
+        scenario = _scenario()
+        fast = run_scenario_sharded(scenario, preset="full", seed=5, shards=3)
+        monkeypatch.setattr(shard_mod, "_partition_arrivals", lambda stream, plan: None)
+        slow = run_scenario_sharded(scenario, preset="full", seed=5, shards=3)
+        assert _report(fast) == _report(slow)
+
+    def test_arrivals_conserved_across_shards(self):
+        scenario = _scenario()
+        sequential = run_scenario(scenario, preset="full", seed=4)
+        sharded = run_scenario_sharded(scenario, preset="full", seed=4, shards=3)
+        per_shard = sharded.extras["sharding"]["per_shard"]
+        assert (
+            sum(row["arrivals"] for row in per_shard)
+            == sequential.summary.total_arrivals
+        )
+        assert sharded.summary.total_arrivals == sequential.summary.total_arrivals
+
+    def test_tenant_mode_preserves_per_tenant_arrivals(self):
+        scenario = _scenario(tenants=_TENANTS)
+        sequential = run_scenario(scenario, preset="full", seed=2)
+        sharded = run_scenario_sharded(scenario, preset="full", seed=2, shards=3)
+        seq_tenants = {t.name: t.arrivals for t in sequential.summary.tenants}
+        shard_tenants = {t.name: t.arrivals for t in sharded.summary.tenants}
+        assert shard_tenants == seq_tenants
+
+    def test_recorded_messages_account_for_every_request(self):
+        scenario = _scenario()
+        run = run_scenario_sharded(
+            scenario, preset="full", seed=6, shards=2, record_messages=True
+        )
+        recorded = run.extras["sharding"]["messages"]
+        assert set(recorded) == {0, 1}
+        total_completions = 0
+        for shard_id, entries in recorded.items():
+            decoded = [messages.decode(e) for e in entries]
+            dispatches = {
+                m.request_id for m in decoded if isinstance(m, messages.DispatchMessage)
+            }
+            completions = {
+                m.request_id for m in decoded if isinstance(m, messages.CompletionMessage)
+            }
+            # every completion was dispatched on this shard first
+            assert completions <= dispatches
+            total_completions += len(completions)
+        assert total_completions == run.summary.total_completions
+
+    def test_fault_schedules_are_rejected(self):
+        scenario = _scenario(faults=(FaultEvent(fail_at_minute=2.0, worker_id=0),))
+        with pytest.raises(ValueError, match="worker faults"):
+            run_scenario_sharded(scenario, preset="full", seed=0, shards=2)
+
+    def test_sharding_extras_describe_the_plan(self):
+        run = run_scenario_sharded(_scenario(), preset="full", seed=1, shards=2)
+        sharding = run.extras["sharding"]
+        assert sharding["shards"] == 2
+        assert sharding["mode"] == "hash"
+        assert len(sharding["plan"]) == 2
+        assert sum(p["workers"] for p in sharding["plan"]) == 8
+        assert sharding["barriers"][-1]["window_end_s"] >= 8 * 60.0

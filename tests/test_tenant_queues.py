@@ -1,0 +1,147 @@
+"""Tenant-priority worker queues: weighted DRR across per-tenant EDF heaps.
+
+The discipline under test (``cluster/queues.py``) is what lets the
+``tenant-noisy-neighbor`` scenario run with ``admission_rate_factor=1.0``:
+admission no longer has to over-throttle aggregate inflow, because a
+flash-crowd tenant's stale backlog cannot starve the quiet tenants at the
+worker queues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.queues import TenantPriorityQueue
+from repro.cluster.requests import Request
+from repro.models.zoo import Strategy
+from repro.prompts.dataset import PromptDataset
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    return PromptDataset.synthetic(count=32, seed=11).prompts
+
+
+def _request(prompts, request_id, tenant, arrival_s, deadline_s=None):
+    prompt = dataclasses.replace(prompts[request_id % len(prompts)], tenant=tenant)
+    return Request(
+        request_id=request_id,
+        prompt=prompt,
+        arrival_time_s=arrival_s,
+        strategy=Strategy.AC,
+        predicted_rank=0,
+        assigned_rank=0,
+        deadline_s=deadline_s,
+    )
+
+
+class TestTenantPriorityQueue:
+    def test_deque_surface(self, prompts):
+        queue = TenantPriorityQueue()
+        assert len(queue) == 0 and not queue
+        queue.append(_request(prompts, 0, "a", 1.0))
+        assert len(queue) == 1 and queue
+        assert queue.popleft().request_id == 0
+        with pytest.raises(IndexError):
+            queue.popleft()
+        queue.append(_request(prompts, 1, "a", 2.0))
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_edf_within_one_tenant(self, prompts):
+        queue = TenantPriorityQueue()
+        # Enqueued out of deadline order; deadline = arrival + SLO budget.
+        queue.append(_request(prompts, 0, "a", 10.0, deadline_s=40.0))
+        queue.append(_request(prompts, 1, "a", 12.0, deadline_s=20.0))
+        queue.append(_request(prompts, 2, "a", 11.0, deadline_s=30.0))
+        assert [queue.popleft().request_id for _ in range(3)] == [1, 2, 0]
+
+    def test_falls_back_to_arrival_order_without_deadlines(self, prompts):
+        queue = TenantPriorityQueue()
+        queue.append(_request(prompts, 0, "a", 30.0))
+        queue.append(_request(prompts, 1, "a", 10.0))
+        queue.append(_request(prompts, 2, "a", 20.0))
+        assert [queue.popleft().request_id for _ in range(3)] == [1, 2, 0]
+
+    def test_stale_backlog_cannot_starve_quiet_tenant(self, prompts):
+        # The EDF-under-overload failure mode: the offender's admission-
+        # delayed backlog carries much older arrivals than the quiet
+        # tenant's fresh trickle.  Global EDF would drain all of tenant
+        # "noisy" first; DRR must interleave.
+        queue = TenantPriorityQueue({"noisy": 1.0, "quiet": 1.0})
+        for i in range(10):
+            queue.append(_request(prompts, i, "noisy", float(i)))
+        queue.append(_request(prompts, 100, "quiet", 500.0))
+        queue.append(_request(prompts, 101, "quiet", 501.0))
+        first_six = [queue.popleft().prompt.tenant for _ in range(6)]
+        assert first_six.count("quiet") == 2
+
+    def test_weighted_share_under_contention(self, prompts):
+        queue = TenantPriorityQueue({"gold": 3.0, "bronze": 1.0})
+        for i in range(40):
+            queue.append(_request(prompts, i, "gold", float(i)))
+            queue.append(_request(prompts, 1000 + i, "bronze", float(i)))
+        served = [queue.popleft().prompt.tenant for _ in range(40)]
+        gold = served.count("gold")
+        # 3x weight -> ~3x the drain rate while both are backlogged.
+        assert 28 <= gold <= 32
+
+    def test_lone_tenant_gets_every_slot(self, prompts):
+        queue = TenantPriorityQueue({"a": 0.25, "b": 1.0})
+        for i in range(8):
+            queue.append(_request(prompts, i, "a", float(i)))
+        # No other backlog: fractional weight must not stall the queue.
+        assert [queue.popleft().request_id for _ in range(8)] == list(range(8))
+
+    def test_idle_tenant_banks_no_credit(self, prompts):
+        queue = TenantPriorityQueue({"a": 1.0, "b": 1.0})
+        for i in range(4):
+            queue.append(_request(prompts, i, "a", float(i)))
+        for _ in range(4):
+            queue.popleft()
+        # "b" was idle through all of that; when both tenants backlog again
+        # the split must restart even, not favour the previously idle one.
+        for i in range(10, 16):
+            queue.append(_request(prompts, i, "a", float(i)))
+            queue.append(_request(prompts, 100 + i, "b", float(i)))
+        served = [queue.popleft().prompt.tenant for _ in range(8)]
+        assert 3 <= served.count("b") <= 5
+
+    def test_iteration_is_deterministic_ring_then_edf(self, prompts):
+        queue = TenantPriorityQueue()
+        queue.append(_request(prompts, 0, "b", 5.0, deadline_s=50.0))
+        queue.append(_request(prompts, 1, "a", 6.0, deadline_s=10.0))
+        queue.append(_request(prompts, 2, "b", 7.0, deadline_s=20.0))
+        ids = [request.request_id for request in queue]
+        # "b" was seen first -> its subqueue iterates first, EDF inside.
+        assert ids == [2, 0, 1]
+        assert len(queue) == 3  # iteration does not consume
+
+
+class TestWorkerIntegration:
+    def test_worker_uses_priority_queue_when_enabled(self, prompts):
+        from repro.core.config import ArgusConfig
+        from repro.experiments.runner import build_system
+
+        config = ArgusConfig(
+            num_workers=2,
+            tenants=[
+                {"name": "alpha", "traffic_share": 0.5, "weight": 2.0},
+                {"name": "beta", "traffic_share": 0.5},
+            ],
+            tenant_priority_queues=True,
+        )
+        system = build_system("argus", config=config)
+        for worker in system.cluster.workers:
+            assert isinstance(worker._queue, TenantPriorityQueue)
+
+    def test_default_worker_queue_stays_fifo(self, prompts):
+        from collections import deque
+
+        from repro.core.config import ArgusConfig
+        from repro.experiments.runner import build_system
+
+        system = build_system("argus", config=ArgusConfig(num_workers=1))
+        assert isinstance(system.cluster.workers[0]._queue, deque)
