@@ -14,15 +14,30 @@ removed*, not parallel slack: each shard's join-shortest-expected-wait route
 scan covers only its fleet partition (W/N workers instead of W), which is
 the O(W) term sharding exists to split.
 
+Three control-plane benchmarks ride along:
+
+* ``shard_autoscale`` — the ``sharded-autoscale`` scenario under per-shard
+  autoscalers and the coordinator budget broker, checked for repeat
+  determinism, sync-window invariance, and the global worker budget
+  holding at every barrier;
+* ``tenant_partition`` — coordinator-side tenant stream slicing vs the old
+  per-shard full-stream filter walk (the O(shards x stream) term the
+  partitioner removes), checked for identical per-shard slices; and
+* ``shard_stealing`` — the skewed ``sharded-steal`` scenario with cross-
+  shard work stealing off vs on; the "speedup" is the hot tenant's p99
+  ratio, checked for conserved arrivals and an actual p99 drop.
+
 Usage::
 
     PYTHONPATH=src:. python benchmarks/perf/run_shard_scaling.py \
-        --preset full --output BENCH_PR6.json          # the checked-in run
+        --preset small --output BENCH_PR7.json         # the checked-in run
     PYTHONPATH=src:. python benchmarks/perf/run_shard_scaling.py \
-        --preset small --output BENCH_shard_ci.json    # CI smoke (~1 min)
+        --preset small --output BENCH_shard_ci.json    # CI smoke (~3 min)
 
-Exits non-zero when a correctness check fails; the speedup itself is
-reported, not gated (CI runners are too noisy to gate a wall-clock ratio).
+Exits non-zero when a correctness check fails; wall-clock speedups are
+reported, not gated (CI runners are too noisy to gate a wall-clock ratio);
+``check_regression.py`` gates the per-benchmark ``speedup`` ratios against
+the checked-in baseline with a generous tolerance.
 """
 
 from __future__ import annotations
@@ -37,8 +52,14 @@ import time
 
 import numpy as np
 
-from repro.scenarios.runtime import run_scenario
-from repro.simulation.shard import run_scenario_sharded
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runtime import build_config, build_stream, run_scenario
+from repro.simulation.shard import (
+    _partition_arrivals,
+    _tenant_sliced_stream,
+    plan_shards,
+    run_scenario_sharded,
+)
 
 #: Shard counts per preset.  The small preset rides the 4-worker SMALL_FLEET,
 #: so it stops at 4; the full preset is the checked-in fig16-xl sweep.
@@ -69,12 +90,183 @@ def _run_leg(scenario: str, preset: str, seed: int, shards: int) -> dict:
     }
 
 
+def _timed_sharded(scenario: str, preset: str, seed: int, shards: int, **kw):
+    gc.collect()
+    start = time.perf_counter()
+    run = run_scenario_sharded(scenario, preset=preset, seed=seed, shards=shards, **kw)
+    return run, time.perf_counter() - start
+
+
+def _bench_autoscale(preset: str, seed: int) -> dict:
+    """Brokered per-shard autoscaling: determinism, window invariance, budget."""
+    scenario = "sharded-autoscale"
+    failures: list[str] = []
+    seq, seq_wall = _timed_sharded(scenario, preset, seed, shards=1)
+    legs = [
+        {
+            "shards": 1,
+            "wall_s": seq_wall,
+            "arrivals": seq.summary.total_arrivals,
+            "summary_digest": _digest(seq),
+        }
+    ]
+    for shards in (2, 4):
+        run, wall = _timed_sharded(scenario, preset, seed, shards=shards)
+        autoscale = run.extras["sharding"]["autoscale"]
+        budget = autoscale["max_workers"]
+        over = [
+            entry
+            for entry in run.extras["sharding"]["barriers"]
+            if entry["in_fleet"] > budget or entry["committed_workers"] > budget
+        ]
+        if over:
+            failures.append(
+                f"shards={shards}: {len(over)} barrier(s) exceed the "
+                f"{budget}-worker global budget"
+            )
+        repeat, _ = _timed_sharded(scenario, preset, seed, shards=shards)
+        if _digest(repeat) != _digest(run):
+            failures.append(f"shards={shards}: repeat run digest differs")
+        # Grant/apply happens only on the fixed epoch grid, so halving or
+        # quadrupling the barrier window must not move a single request.
+        narrow, _ = _timed_sharded(
+            scenario, preset, seed, shards=shards, sync_window_s=30.0
+        )
+        wide, _ = _timed_sharded(
+            scenario, preset, seed, shards=shards, sync_window_s=120.0
+        )
+        if _digest(narrow) != _digest(wide):
+            failures.append(f"shards={shards}: sync-window width changed the summary")
+        if (
+            narrow.extras["sharding"]["autoscale"]["grants"]
+            != wide.extras["sharding"]["autoscale"]["grants"]
+        ):
+            failures.append(f"shards={shards}: sync-window width changed the grants")
+        legs.append(
+            {
+                "shards": shards,
+                "wall_s": wall,
+                "arrivals": run.summary.total_arrivals,
+                "summary_digest": _digest(run),
+                "workers_granted": sum(
+                    g["granted"] for g in autoscale["grants"] if g["action"] == "scale_out"
+                ),
+                "scale_denials": autoscale["denied_requests"],
+                "committed_workers": autoscale["committed"],
+                "speedup_vs_sequential": seq_wall / wall,
+            }
+        )
+    if len({leg["arrivals"] for leg in legs}) != 1:
+        failures.append("arrival totals diverge across autoscaled legs")
+    return {
+        "legs": legs,
+        "checks_failed": failures,
+        "speedup": legs[-1]["speedup_vs_sequential"],
+        "results_match": not failures,
+    }
+
+
+def _bench_tenant_partition(preset: str, seed: int, repeats: int = 3) -> dict:
+    """Coordinator tenant-stream slicing vs the per-shard full-stream walk."""
+    scenario = get_scenario("sharded-steal")
+    preset_spec = scenario.preset(preset)
+    # Four single-tenant shards make the removed O(shards x stream) term
+    # visible; the checked-in two-tenant scenario would cap the sweep at 2.
+    tenants = [
+        {"name": f"t{i}", "traffic_share": 0.25, "extra_qpm": [60.0] * 8}
+        for i in range(4)
+    ]
+    config = build_config(
+        scenario, preset_spec, seed, extra={"tenants": tenants, "shards": 4}
+    )
+    trace = scenario.trace.build(seed=seed, **preset_spec.trace_params)
+    plan = plan_shards(config, trace=trace)
+    stream = build_stream(scenario, preset_spec, config, trace, seed)
+
+    def _key(timed):
+        return (timed.arrival_time_s, timed.prompt.tenant, timed.prompt.text)
+
+    legacy_s = sliced_s = float("inf")
+    legacy_slices = sliced_slices = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        legacy_slices = [
+            [_key(t) for t in stream if t.prompt.tenant in spec.tenant_names]
+            for spec in plan.shards
+        ]
+        legacy_s = min(legacy_s, time.perf_counter() - start)
+        gc.collect()
+        start = time.perf_counter()
+        descriptors = _partition_arrivals(stream, plan)
+        sliced_slices = [
+            [_key(t) for t in _tenant_sliced_stream(stream, d["indices"])]
+            for d in descriptors
+        ]
+        sliced_s = min(sliced_s, time.perf_counter() - start)
+    failures: list[str] = []
+    if legacy_slices != sliced_slices:
+        failures.append("sliced tenant streams differ from the filter-walk slices")
+    return {
+        "shards": len(plan.shards),
+        "stream_requests": sum(len(s) for s in legacy_slices),
+        "filter_walk_s": legacy_s,
+        "sliced_s": sliced_s,
+        "checks_failed": failures,
+        "speedup": legacy_s / sliced_s,
+        "results_match": not failures,
+    }
+
+
+def _bench_stealing(preset: str, seed: int) -> dict:
+    """Cross-shard work stealing off vs on: hot-tenant p99 ratio."""
+    scenario = get_scenario("sharded-steal")
+    on, on_wall = _timed_sharded(scenario, preset, seed, shards=2)
+    # The registry scenario ships with stealing on; the off leg disables it.
+    off_run, off_wall = _timed_sharded(
+        _with_config(scenario, {"shard_work_stealing": False}), preset, seed, shards=2
+    )
+
+    def _hot(run):
+        return next(t for t in run.summary.tenants if t.name == "hot")
+
+    failures: list[str] = []
+    stealing = on.extras["sharding"].get("stealing", {})
+    if not stealing.get("stolen_total"):
+        failures.append("stealing-on run migrated no work")
+    if on.summary.total_arrivals != off_run.summary.total_arrivals:
+        failures.append("arrival totals differ between stealing legs")
+    p99_off = _hot(off_run).p99_latency_s
+    p99_on = _hot(on).p99_latency_s
+    if not p99_on < p99_off:
+        failures.append(f"hot p99 did not drop: off={p99_off:.1f}s on={p99_on:.1f}s")
+    return {
+        "shards": 2,
+        "hot_p99_off_s": p99_off,
+        "hot_p99_on_s": p99_on,
+        "stolen_total": stealing.get("stolen_total", 0),
+        "steal_events": len(stealing.get("events", ())),
+        "wall_off_s": off_wall,
+        "wall_on_s": on_wall,
+        "checks_failed": failures,
+        "speedup": p99_off / p99_on if p99_on else 0.0,
+        "results_match": not failures,
+    }
+
+
+def _with_config(scenario, overrides: dict):
+    """A copy of ``scenario`` with extra ArgusConfig overrides."""
+    payload = scenario.to_dict()
+    payload["config"] = {**payload.get("config", {}), **overrides}
+    return type(scenario).from_dict(payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scenario", default="fig16-xl")
     parser.add_argument("--preset", choices=sorted(SHARD_COUNTS), default="full")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default="BENCH_PR6.json")
+    parser.add_argument("--output", default="BENCH_PR7.json")
     parser.add_argument(
         "--shards",
         default=None,
@@ -127,15 +319,52 @@ def main(argv: list[str] | None = None) -> int:
         if _digest(sequential) != legs[0]["summary_digest"]:
             failures.append("shards=1 summary digest differs from sequential runner")
 
+    print("[shard_autoscale] brokered autoscaling sweep ...", flush=True)
+    autoscale = _bench_autoscale(args.preset, args.seed)
+    print(
+        f"[shard_autoscale] done: speedup={autoscale['speedup']:.2f}x "
+        f"checks={'ok' if autoscale['results_match'] else autoscale['checks_failed']}",
+        flush=True,
+    )
+    print("[tenant_partition] stream-slicing microbench ...", flush=True)
+    partition = _bench_tenant_partition(args.preset, args.seed)
+    print(
+        f"[tenant_partition] done: filter-walk {partition['filter_walk_s']:.3f}s vs "
+        f"sliced {partition['sliced_s']:.3f}s = {partition['speedup']:.2f}x",
+        flush=True,
+    )
+    print("[shard_stealing] skewed two-tenant off/on ...", flush=True)
+    stealing = _bench_stealing(args.preset, args.seed)
+    print(
+        f"[shard_stealing] done: hot p99 {stealing['hot_p99_off_s']:.1f}s -> "
+        f"{stealing['hot_p99_on_s']:.1f}s ({stealing['stolen_total']} stolen)",
+        flush=True,
+    )
+
     claims = {}
     by_count = {leg["shards"]: leg for leg in legs}
     for shards, leg in by_count.items():
         if shards > 1:
             claims[f"shard_scaling_speedup_{shards}"] = leg["speedup_vs_sequential"]
+    claims["tenant_partition_speedup"] = partition["speedup"]
+    claims["stealing_hot_p99_ratio"] = stealing["speedup"]
 
+    # `speedup` and `results_match` make each entry legible to
+    # check_regression.py's standard ratio/consistency gate.
+    benchmarks = {
+        "shard_scaling": {
+            "legs": legs,
+            "checks_failed": failures,
+            "speedup": legs[-1]["speedup_vs_sequential"],
+            "results_match": not failures,
+        },
+        "shard_autoscale": autoscale,
+        "tenant_partition": partition,
+        "shard_stealing": stealing,
+    }
     payload = {
         "meta": {
-            "pr": "PR6",
+            "pr": "PR7",
             "scenario": args.scenario,
             "preset": args.preset,
             "seed": args.seed,
@@ -143,23 +372,20 @@ def main(argv: list[str] | None = None) -> int:
             "numpy": np.__version__,
             "platform": platform.platform(),
         },
-        # `speedup` (widest sweep point) and `results_match` make this entry
-        # legible to check_regression.py's standard ratio/consistency gate.
-        "benchmarks": {
-            "shard_scaling": {
-                "legs": legs,
-                "checks_failed": failures,
-                "speedup": legs[-1]["speedup_vs_sequential"],
-                "results_match": not failures,
-            }
-        },
+        "benchmarks": benchmarks,
         "claims": claims,
     }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {args.output}")
-    if failures:
-        print("FAILED: " + "; ".join(failures))
+    all_failures = failures + [
+        f"{name}: {check}"
+        for name, bench in benchmarks.items()
+        for check in bench.get("checks_failed", ())
+        if name != "shard_scaling"
+    ]
+    if all_failures:
+        print("FAILED: " + "; ".join(all_failures))
         return 1
     return 0
 

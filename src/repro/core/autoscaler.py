@@ -15,6 +15,18 @@ direction has its own cooldown so the fleet never flaps.  GPU types for new
 workers cycle through the configured ``gpu_mix``; scale-in removes the most
 recently added worker first, so the baseline fleet survives transients
 untouched.
+
+Sharded runs flip ``brokered`` on: the signals, streaks and cooldowns are
+evaluated identically over the shard's fleet partition, but instead of
+provisioning/draining directly the loop emits
+:class:`~repro.simulation.messages.ScaleRequest` records.  The shard ships
+them at the next autoscale-epoch barrier; the coordinator's budget broker
+grants against the *global* ``min_workers``/``max_workers``/``gpu_mix``
+budget and the shard applies the grants (provision/drain + events) at
+exactly the epoch time via :meth:`Autoscaler.apply_outcomes`.  While a
+request is pending or awaiting a grant the loop holds still — the same
+"never shrink while growth is in flight" rule the sequential loop applies
+to provisioning workers.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from repro.core.allocator import Allocator
 from repro.core.config import ArgusConfig
 from repro.models.gpus import gpu_by_name
 from repro.models.zoo import ModelZoo, Strategy
+from repro.simulation import messages
 from repro.simulation.engine import SimulationEngine
 
 
@@ -55,6 +68,9 @@ class Autoscaler:
     #: Callable returning the active strategy (it switches at runtime).
     active_strategy: Callable[[], Strategy]
     events: list[ScalingEvent] = field(default_factory=list)
+    #: Brokered mode (sharded runs): emit ScaleRequests instead of acting;
+    #: the coordinator's budget broker grants, :meth:`apply_outcomes` acts.
+    brokered: bool = False
 
     def __post_init__(self) -> None:
         self.min_workers = self.config.effective_min_workers
@@ -67,6 +83,12 @@ class Autoscaler:
         self._last_scale_in_s = -math.inf
         #: Ids of autoscaler-added workers still in the fleet (LIFO pool).
         self._added_ids: list[int] = []
+        #: Brokered-mode request bookkeeping: emitted-but-unshipped asks,
+        #: shipped-awaiting-grant asks, the emission sequence, denial count.
+        self._pending: list[messages.ScaleRequest] = []
+        self._awaiting: dict[int, messages.ScaleRequest] = {}
+        self._request_seq = 0
+        self.denied_requests = 0
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -84,6 +106,12 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     def tick(self, now: float) -> None:
         """Evaluate the scaling signals once."""
+        if self.brokered and (self._pending or self._awaiting):
+            # A request is still in flight to the broker: neither direction
+            # moves until it is answered (the brokered analogue of "never
+            # shrink while growth is in flight").
+            self._underload_streak = 0
+            return
         strategy = self.active_strategy()
         demand_qpm = self.allocator.load_estimator.estimated_qpm(now)
         ceiling = self.cluster.fleet_ceiling_qpm(strategy)
@@ -136,6 +164,8 @@ class Autoscaler:
         added = 0
         # Add workers until the projected ceiling clears demand (with the
         # scale-up threshold as headroom), the step cap, or the fleet cap.
+        # Brokered mode sizes the ask with the same loop (the local mix
+        # cycle projects speeds) but defers provisioning to the grant.
         while (
             added < self.config.max_scale_step
             and in_fleet + added < self.max_workers
@@ -143,29 +173,31 @@ class Autoscaler:
         ):
             gpu_name = self._next_gpu()
             speed = gpu_by_name(gpu_name).relative_speed / reference_speed
-            worker = self.cluster.provision_worker(
-                gpu=gpu_name,
-                level=fastest,
-                provision_delay_s=self.config.provision_delay_s,
-                on_ready=self._on_worker_ready,
-            )
-            self._added_ids.append(worker.worker_id)
+            if not self.brokered:
+                worker = self.cluster.provision_worker(
+                    gpu=gpu_name,
+                    level=fastest,
+                    provision_delay_s=self.config.provision_delay_s,
+                    on_ready=self._on_worker_ready,
+                )
+                self._added_ids.append(worker.worker_id)
             projected_qpm += peak * speed
             added += 1
         if added == 0:
             return False
         self._overload_streak = 0
         self._last_scale_out_s = now
+        reason = f"demand {demand_qpm:.0f} QPM above fleet ceiling (saturation/backlog)"
+        if self.brokered:
+            self._emit_request("scale_out", now, added, reason)
+            return True
         self.events.append(
             ScalingEvent(
                 time_s=now,
                 action="scale_out",
                 delta=added,
                 fleet_size=in_fleet + added,
-                reason=(
-                    f"demand {demand_qpm:.0f} QPM above fleet ceiling "
-                    f"(saturation/backlog)"
-                ),
+                reason=reason,
             )
         )
         return True
@@ -222,6 +254,16 @@ class Autoscaler:
             return
         if now - self._last_scale_in_s < self.config.scale_in_cooldown_s:
             return
+        if self.brokered:
+            self._underload_streak = 0
+            self._last_scale_in_s = now
+            self._emit_request(
+                "scale_in",
+                now,
+                1,
+                f"demand {demand_qpm:.0f} QPM fits the smaller fleet",
+            )
+            return
         self.cluster.drain_worker(candidate.worker_id)
         if candidate.worker_id in self._added_ids:
             self._added_ids.remove(candidate.worker_id)
@@ -237,6 +279,81 @@ class Autoscaler:
             )
         )
         self.allocator.recalibrate(now, strategy)
+
+    # ------------------------------------------------------------------ #
+    # Brokered mode (sharded runs)
+    # ------------------------------------------------------------------ #
+    def _emit_request(self, action: str, now: float, count: int, reason: str) -> None:
+        self._request_seq += 1
+        self._pending.append(
+            messages.ScaleRequest(
+                seq=self._request_seq, action=action, time_s=now, count=count, reason=reason
+            )
+        )
+
+    def take_requests(self) -> tuple:
+        """Pending :class:`~repro.simulation.messages.ScaleRequest`s, in
+        emission order, moved to the awaiting-grant set.  The shard calls
+        this when building its epoch-boundary barrier reply."""
+        requests = tuple(self._pending)
+        for request in requests:
+            self._awaiting[request.seq] = request
+        self._pending.clear()
+        return requests
+
+    def apply_outcomes(self, now: float, outcomes) -> None:
+        """Apply the broker's grants at the epoch boundary (clock == now).
+
+        Granted scale-outs provision with the broker-assigned GPU types
+        (the *global* mix cycle); granted scale-ins re-pick the LIFO drain
+        candidate at apply time — if faults removed it meanwhile the grant
+        is skipped rather than draining an arbitrary worker.  Denials only
+        count; the streak/cooldown state already advanced at emission.
+        """
+        for outcome in outcomes:
+            request = self._awaiting.pop(outcome.seq, None)
+            if request is None:
+                continue
+            if outcome.granted <= 0:
+                self.denied_requests += 1
+                continue
+            if outcome.action == "scale_out":
+                fastest = self.zoo.fastest_level(self.active_strategy())
+                for gpu_name in outcome.gpus[: outcome.granted]:
+                    worker = self.cluster.provision_worker(
+                        gpu=gpu_name,
+                        level=fastest,
+                        provision_delay_s=self.config.provision_delay_s,
+                        on_ready=self._on_worker_ready,
+                    )
+                    self._added_ids.append(worker.worker_id)
+                self.events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        action="scale_out",
+                        delta=outcome.granted,
+                        fleet_size=self.cluster.fleet_size
+                        + len(self.cluster.provisioning_workers),
+                        reason=f"{request.reason} [broker grant]",
+                    )
+                )
+            else:
+                candidate = self._scale_in_candidate()
+                if candidate is None or self.cluster.fleet_size <= 1:
+                    continue
+                self.cluster.drain_worker(candidate.worker_id)
+                if candidate.worker_id in self._added_ids:
+                    self._added_ids.remove(candidate.worker_id)
+                self.events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        action="scale_in",
+                        delta=-1,
+                        fleet_size=self.cluster.fleet_size,
+                        reason=f"{request.reason} [broker grant]",
+                    )
+                )
+                self.allocator.recalibrate(now, self.active_strategy())
 
     # ------------------------------------------------------------------ #
     # Introspection

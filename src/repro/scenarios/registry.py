@@ -458,6 +458,107 @@ register(
 
 register(
     Scenario(
+        name="sharded-autoscale",
+        description=(
+            "The Fig. 17-style elastic fleet run in sharded mode: each shard "
+            "runs its own autoscaler over its fleet partition and the "
+            "coordinator's budget broker grants scale requests against the "
+            "global min/max worker budget at fixed autoscale epochs.  "
+            "Sequential (shards=1) runs exercise the same scenario on the "
+            "classic global autoscaler; `--shards 4` exercises the broker."
+        ),
+        exercises=("sharded execution", "autoscaler", "budget broker", "elastic fleet"),
+        trace=TraceSpec(source="library", name="twitter"),
+        config={
+            "autoscale_enabled": True,
+            "autoscale_epoch_s": 60.0,
+            "provision_delay_s": 30.0,
+        },
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={
+                    "duration_minutes": 8,
+                    "base_qpm": 60.0,
+                    "peak_qpm": 240.0,
+                },
+                config={**SMALL_FLEET, "min_workers": 2, "max_workers": 10},
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 120,
+                    "base_qpm": 240.0,
+                    "peak_qpm": 960.0,
+                },
+                config={"num_workers": 16, "min_workers": 8, "max_workers": 40},
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="sharded-steal",
+        description=(
+            "A skewed two-tenant workload for cross-shard work stealing: the "
+            "hot tenant's mid-run burst transiently overwhelms its shard at "
+            "~3x the planned rate while the cold tenant's shard keeps "
+            "headroom.  With `--shards 2` the coordinator migrates admission-"
+            "queue tails from the backlogged shard onto the idle one each "
+            "barrier; sequential runs serve the same workload unstolen."
+        ),
+        exercises=("sharded execution", "work stealing", "multi-tenancy", "burst absorption"),
+        trace=TraceSpec(source="library", name="twitter"),
+        config={
+            "shard_work_stealing": True,
+            "steal_backlog_threshold": 4,
+            "steal_max_fraction": 1.0,
+            "sync_window_s": 15.0,
+            "tenants": [
+                {
+                    "name": "hot",
+                    "traffic_share": 0.2,
+                    "extra_qpm": [0.0, 0.0, 150.0, 150.0, 150.0, 0.0, 0.0, 0.0],
+                },
+                {"name": "cold", "traffic_share": 0.8},
+            ],
+        },
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={
+                    "duration_minutes": 8,
+                    "base_qpm": 24.0,
+                    "peak_qpm": 36.0,
+                },
+                config={**SMALL_FLEET, "num_workers": 6},
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 60,
+                    "base_qpm": 96.0,
+                    "peak_qpm": 144.0,
+                },
+                config={
+                    "num_workers": 24,
+                    "tenants": [
+                        {
+                            "name": "hot",
+                            "traffic_share": 0.2,
+                            "extra_qpm": [0.0] * 15 + [600.0] * 15 + [0.0] * 30,
+                        },
+                        {"name": "cold", "traffic_share": 0.8},
+                    ],
+                },
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
         name="fig16-xl",
         description=(
             "The Fig. 16 twitter-trace experiment scaled out to a ten-"

@@ -3,11 +3,13 @@
 Sharded execution (:mod:`repro.simulation.shard`) replaces the shared object
 graph between the coordinator and each shard's serving system with explicit
 messages: control messages drive the conservative time-window barrier
-(``RunWindow`` down, ``BarrierReached`` up), ``Finalize``/``ShardResult``
-close a run, and the data-plane records (``DispatchMessage``,
-``CompletionMessage``, ``RequeueMessage``) describe every request movement
-when a shard runs with message recording on (the parity and conservation
-tests drive that mode).
+(``RunWindow`` down, ``BarrierReached`` up), ``ScaleRequest``/``ScaleOutcomes``
+carry the budget-brokered autoscaling exchange at epoch boundaries,
+``StealRequest``/``StolenWork``/``WorkTransfer`` migrate admission-queue
+tails between shards, ``Finalize``/``ShardResult`` close a run, and the
+data-plane records (``DispatchMessage``, ``CompletionMessage``,
+``RequeueMessage``) describe every request movement when a shard runs with
+message recording on (the parity and conservation tests drive that mode).
 
 Every message round-trips through a plain ``dict`` via :func:`encode` /
 :func:`decode` — a ``kind``-tagged registry, no pickle-only payloads except
@@ -104,6 +106,10 @@ class RunWindow(Message):
 
     kind = "run_window"
     window_end_s: float
+    #: True when the window ends on an ``autoscale_epoch_s`` grid point:
+    #: the shard must ship its pending scale requests in the barrier reply
+    #: and will receive a :class:`ScaleOutcomes` before the next window.
+    epoch_boundary: bool = False
 
 
 @_register
@@ -133,6 +139,79 @@ class FleetDelta(Message):
     workers_added: int
     workers_retired: int
     model_loads: int
+    #: Workers provisioned but not yet in rotation at the barrier.
+    provisioning_workers: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ScaleRequest(Message):
+    """One shard autoscaler ask, brokered by the coordinator.
+
+    ``seq`` is the shard-local emission sequence; the broker grants in
+    (shard id, seq) order, which is what makes N-shard autoscaled runs
+    reproducible regardless of process timing.
+    """
+
+    kind = "scale_request"
+    seq: int
+    action: str  # "scale_out" | "scale_in"
+    time_s: float
+    #: Workers asked for (scale_out) or offered back (scale_in, always 1).
+    count: int
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ScaleOutcome(Message):
+    """The broker's answer to one :class:`ScaleRequest`."""
+
+    kind = "scale_outcome"
+    seq: int
+    action: str
+    #: Workers granted (0 = denied outright).
+    granted: int
+    #: GPU types for granted scale-out workers, assigned from the *global*
+    #: ``gpu_mix`` cycle so the fleet mix matches a sequential deployment.
+    gpus: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "gpus", tuple(self.gpus))
+
+
+@_register
+@dataclass(frozen=True)
+class ScaleOutcomes(Message):
+    """Coordinator -> shard: all grant decisions for one epoch boundary.
+
+    Sent to *every* shard at every epoch boundary (possibly with an empty
+    outcome list), so the barrier protocol stays lockstep and
+    window-invariant.  The shard applies grants at exactly the epoch time
+    before running its next window.
+    """
+
+    kind = "scale_outcomes"
+    window_end_s: float
+    outcomes: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outcomes", tuple(self.outcomes))
+
+    def _payload(self) -> dict:
+        return {
+            "window_end_s": self.window_end_s,
+            "outcomes": [outcome.encode() for outcome in self.outcomes],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "ScaleOutcomes":
+        data = dict(payload)
+        data["outcomes"] = tuple(
+            outcome if isinstance(outcome, ScaleOutcome) else decode(dict(outcome))
+            for outcome in data.get("outcomes", ())
+        )
+        return cls(**data)
 
 
 @_register
@@ -145,6 +224,20 @@ class BarrierReached(Message):
     window_end_s: float
     metrics: MetricsDelta
     fleet: FleetDelta
+    #: Pending autoscaler asks, shipped only at epoch boundaries.
+    scale_requests: tuple = ()
+    #: Requests queued (not yet admitted) at fair-share admission.
+    admission_backlog: int = 0
+    #: Requests waiting in worker queues (in-flight batches excluded).
+    worker_backlog: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scale_requests", tuple(self.scale_requests))
+
+    def _payload(self) -> dict:
+        payload = asdict(self)
+        payload["scale_requests"] = [request.encode() for request in self.scale_requests]
+        return payload
 
     @classmethod
     def _from_payload(cls, payload: dict) -> "BarrierReached":
@@ -155,6 +248,10 @@ class BarrierReached(Message):
         fleet.pop("kind", None)
         data["metrics"] = MetricsDelta(**metrics)
         data["fleet"] = FleetDelta(**fleet)
+        data["scale_requests"] = tuple(
+            request if isinstance(request, ScaleRequest) else decode(dict(request))
+            for request in data.get("scale_requests", ())
+        )
         return cls(**data)
 
 
@@ -213,6 +310,87 @@ class RequeueMessage(Message):
     request_id: int
     time_s: float
     tenant: str
+
+
+# --------------------------------------------------------------------------- #
+# Cross-shard work stealing (admission-queue tail migration)
+# --------------------------------------------------------------------------- #
+
+
+@_register
+@dataclass(frozen=True)
+class StealRequest(Message):
+    """Coordinator -> source shard: give up to ``count`` queued requests.
+
+    Only admission-queue tails move — requests already dispatched to worker
+    queues or in flight in a batch stay where they are.
+    """
+
+    kind = "steal_request"
+    window_end_s: float
+    count: int
+
+
+@_register
+@dataclass(frozen=True)
+class StolenWork(Message):
+    """Source shard -> coordinator: the migrated admission-queue entries.
+
+    Each entry is ``{"tenant", "offer_time_s", "prompt": {...Prompt fields}}``
+    — the prompt travels as its plain field dict, so the message is fully
+    JSON round-trippable.
+    """
+
+    kind = "stolen_work"
+    shard_id: int
+    window_end_s: float
+    entries: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    def _payload(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "window_end_s": self.window_end_s,
+            "entries": [dict(entry) for entry in self.entries],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "StolenWork":
+        data = dict(payload)
+        data["entries"] = tuple(dict(entry) for entry in data.get("entries", ()))
+        return cls(**data)
+
+
+@_register
+@dataclass(frozen=True)
+class WorkTransfer(Message):
+    """Coordinator -> destination shard: dispatch these stolen entries.
+
+    The destination injects each prompt at the barrier time with the entry's
+    original offer time as its arrival, so the cross-shard wait stays charged
+    to the request's own latency.  Entries share :class:`StolenWork`'s shape.
+    """
+
+    kind = "work_transfer"
+    window_end_s: float
+    entries: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    def _payload(self) -> dict:
+        return {
+            "window_end_s": self.window_end_s,
+            "entries": [dict(entry) for entry in self.entries],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "WorkTransfer":
+        data = dict(payload)
+        data["entries"] = tuple(dict(entry) for entry in data.get("entries", ()))
+        return cls(**data)
 
 
 # --------------------------------------------------------------------------- #

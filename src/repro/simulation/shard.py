@@ -24,6 +24,23 @@ Partitioning
     with the sequential seed derivations and filters it, so the union of the
     shard slices is exactly the sequential arrival sequence.
 
+Control plane
+    Autoscaled sharded runs put a budget broker on the coordinator: each
+    shard runs its own :class:`~repro.core.autoscaler.Autoscaler` over its
+    fleet partition in *brokered* mode, shipping scale requests inside its
+    barrier reply; the broker grants them in (shard id, request seq) order
+    against the global ``min_workers``/``max_workers``/``gpu_mix`` budget
+    and answers every shard with a grant message before the next window.
+    The exchange happens only on the fixed ``autoscale_epoch_s`` grid (the
+    barrier boundaries are the union of the sync-window and epoch grids),
+    which is what keeps autoscaled runs invariant under ``sync_window_s``.
+
+    With ``shard_work_stealing`` on (tenant mode only), shards also report
+    admission/worker backlog at each barrier and the coordinator migrates
+    admission-queue tails — never in-flight batches — from the most
+    backlogged shard to idle shards as serializable messages.  Stealing is
+    off by default and a pinned no-op when disabled (zero extra messages).
+
 Merging
     Each shard ships a :class:`~repro.simulation.messages.ShardResult`
     carrying its collector's columnar snapshot.  The coordinator absorbs the
@@ -40,14 +57,14 @@ which is what pins bit-identity between the two modes.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import TenantSummary, summarize
 from repro.simulation import messages
-from repro.workloads.tenants import resolve_shares
+from repro.workloads.tenants import build_runtimes, resolve_shares
 
 
 @dataclass(frozen=True)
@@ -251,14 +268,30 @@ def _build_shard_system(payload: dict):
     stream = build_stream(scenario, preset_spec, full_config, trace, seed)
 
     extra: dict = {"num_workers": spec.num_workers, "shards": 1}
-    if spec.tenant_names is not None:
+    if spec.tenant_names is not None and not payload.get("stealing"):
         extra["tenants"] = tuple(
             t for t in full_config.tenants if t.name in set(spec.tenant_names)
         )
+    # With work stealing on, every shard keeps the *full* tenant table (its
+    # arrival slice still only carries its own tenants): migrated requests
+    # from any tenant then land on known scheduler/cache/admission state,
+    # and fair-share admission stays enabled even on single-tenant shards —
+    # the admission queue is the steal source.
+    if full_config.autoscale_enabled:
+        # The shard autoscaler sizes asks over its partition with the full
+        # global headroom; the coordinator's budget broker is what enforces
+        # the global min/max, so the local bounds must not pre-clamp them.
+        extra["min_workers"] = 1
+        extra["max_workers"] = full_config.effective_max_workers
     shard_config = build_config(scenario, preset_spec, seed, extra=extra)
     serving = build_system(payload["system"] or scenario.system, config=shard_config)
+    autoscaler = getattr(serving, "autoscaler", None)
+    if autoscaler is not None:
+        autoscaler.brokered = True
     # Network-condition timelines are global state replicated identically on
-    # every shard; worker-fault schedules are rejected coordinator-side.
+    # every shard.  Fault schedules arrive pre-mapped to shard-local worker
+    # ids (the coordinator splits each fleet-fraction event across the
+    # partitions); worker-id faults are rejected coordinator-side.
     from repro.cache.network import NetworkCondition
 
     _, _, network = scenario.schedule(preset_spec)
@@ -268,12 +301,22 @@ def _build_shard_system(payload: dict):
             window.end_minute * 60.0,
             NetworkCondition(window.condition),
         )
+    for local_id, fail_at_s, recover_at_s in payload.get("faults") or ():
+        serving.cluster.schedule_failure(
+            int(local_id),
+            fail_at_s=float(fail_at_s),
+            recover_at_s=None if recover_at_s is None else float(recover_at_s),
+        )
 
     arrivals = payload.get("arrivals")
-    if arrivals is not None:
-        serving.schedule_arrivals(_replay_arrivals(stream, arrivals))
-    else:
+    if arrivals is None:
         serving.schedule_arrivals(_filtered_stream(stream, spec))
+    elif arrivals["kind"] == "replay":
+        serving.schedule_arrivals(
+            _replay_arrivals(stream, (arrivals["times"], arrivals["slots"]))
+        )
+    else:
+        serving.schedule_arrivals(_tenant_sliced_stream(stream, arrivals["indices"]))
     return serving, spec, trace
 
 
@@ -293,6 +336,28 @@ def _replay_arrivals(stream, arrivals):
     def iterate():
         for arrival, slot in zip(times.tolist(), slots.tolist()):
             yield TimedPrompt(arrival_time_s=arrival, prompt=dataset[slot])
+
+    return iterate()
+
+
+def _tenant_sliced_stream(stream, indices):
+    """Heap-merge only this shard's tenants' per-tenant arrival streams.
+
+    The full multi-tenant stream is a ``heapq.merge`` of every tenant's
+    ``(arrival, tenant_index, sequence)``-keyed lazy stream; merging just
+    this shard's subset yields the identical sorted subsequence (per-tenant
+    seeds and cursors are untouched), so the slice is bit-identical to
+    filtering the full interleave — without paying the O(full-stream) walk
+    per shard that made tenant mode the slowest partitioning path.
+    """
+    import heapq
+
+    from repro.workloads.replay import TimedPrompt
+
+    def iterate():
+        streams = [stream._iter_tenant(index) for index in indices]
+        for arrival, _index, _sequence, prompt in heapq.merge(*streams):
+            yield TimedPrompt(arrival_time_s=arrival, prompt=prompt)
 
     return iterate()
 
@@ -336,20 +401,41 @@ def _filtered_stream(stream, spec: ShardSpec):
 def _partition_arrivals(stream, plan: ShardPlan):
     """Split the full arrival sequence into per-shard slices, one pass.
 
-    On a plain cyclic stream the prompt at arrival ``i`` is
-    ``dataset[i % len(dataset)]``, and shard membership (tenant or content
-    hash) is a pure function of the dataset slot — so the coordinator can
-    assign every arrival to its shard in a single vectorized pass.  Without
-    this, each of the N shard processes walks all ~n arrivals to keep its
-    1/N slice; on one core those N walks serialize into the dominant fixed
-    overhead of a sharded run (~60% of the non-fleet per-request cost at
-    N=8).  Returns a ``(times, slots)`` pair per shard, or None when the
-    stream is phased (drift replays a different dataset per phase) or a
-    slot matches no shard — those fall back to shard-side filtering.
+    Returns one descriptor per shard, or None when no coordinator-side
+    split applies (phased/drift streams, or a slot matching no shard) —
+    those fall back to shard-side filtering of the full stream.
+
+    ``{"kind": "replay", "times": ..., "slots": ...}``
+        Plain cyclic streams: the prompt at arrival ``i`` is
+        ``dataset[i % len(dataset)]`` and shard membership is a pure
+        function of the dataset slot, so the coordinator assigns every
+        arrival in a single vectorized pass.  Without this, each of the N
+        shard processes walks all ~n arrivals to keep its 1/N slice; on one
+        core those N walks serialize into the dominant fixed overhead of a
+        sharded run (~60% of the non-fleet per-request cost at N=8).
+
+    ``{"kind": "tenant_indices", "indices": [...]}``
+        Tenant mode: arrival times are lazy per-tenant Poisson draws, so
+        there is no precomputed sequence to slice — instead each shard
+        heap-merges only its own tenants' streams
+        (:func:`_tenant_sliced_stream`), which removes the same
+        O(shards × full-stream) redundancy on the tenant path.
     """
     from repro.workloads.arrival import ArrivalProcess
     from repro.workloads.replay import RequestStream
+    from repro.workloads.tenants import MultiTenantRequestStream
 
+    if isinstance(stream, MultiTenantRequestStream):
+        if plan.mode != "tenant":
+            return None
+        index_of = {spec.name: i for i, spec in enumerate(stream.tenants)}
+        return [
+            {
+                "kind": "tenant_indices",
+                "indices": [index_of[name] for name in shard.tenant_names],
+            }
+            for shard in plan.shards
+        ]
     if type(stream) is not RequestStream:
         return None
     dataset = stream.dataset
@@ -370,19 +456,36 @@ def _partition_arrivals(stream, plan: ShardPlan):
     slots = np.arange(len(times), dtype=np.int64) % size
     owners = shard_of_slot[slots]
     return [
-        (times[owners == spec.shard_id], slots[owners == spec.shard_id])
+        {
+            "kind": "replay",
+            "times": times[owners == spec.shard_id],
+            "slots": slots[owners == spec.shard_id],
+        }
         for spec in plan.shards
     ]
 
 
 def _shard_main(payload: dict, conn) -> None:
-    """Shard process entry point: barrier loop over the connection."""
+    """Shard process entry point: barrier loop over the connection.
+
+    Beyond the PR-6 window/finalize protocol the loop answers three control
+    messages between windows: :class:`~repro.simulation.messages.
+    ScaleOutcomes` applies budget-broker grants at exactly the epoch time
+    (the clock sits at the window end), :class:`~repro.simulation.messages.
+    StealRequest` hands back admission-queue tails as ``StolenWork``, and
+    :class:`~repro.simulation.messages.WorkTransfer` injects stolen entries
+    with their original offer time as the arrival — the cross-shard wait
+    stays charged to the request's own latency.
+    """
+    from repro.prompts.generator import Prompt
+
     serving, spec, trace = _build_shard_system(payload)
     recorder = (
         _MessageRecorder(serving, spec.shard_id) if payload.get("record_messages") else None
     )
     collector = serving.collector
     cluster = serving.cluster
+    autoscaler = getattr(serving, "autoscaler", None)
     last = {"arrivals": 0, "completions": 0, "dropped": 0, "violations": 0, "loads": 0}
     started = False
     try:
@@ -401,6 +504,9 @@ def _shard_main(payload: dict, conn) -> None:
                     "violations": collector.total_slo_violations,
                     "loads": cluster.total_model_loads(),
                 }
+                scale_requests = ()
+                if message.epoch_boundary and autoscaler is not None:
+                    scale_requests = autoscaler.take_requests()
                 reply = messages.BarrierReached(
                     shard_id=spec.shard_id,
                     window_end_s=message.window_end_s,
@@ -419,10 +525,48 @@ def _shard_main(payload: dict, conn) -> None:
                         workers_added=cluster.workers_added,
                         workers_retired=cluster.workers_retired,
                         model_loads=now["loads"] - last["loads"],
+                        provisioning_workers=len(cluster.provisioning_workers),
                     ),
+                    scale_requests=scale_requests,
+                    admission_backlog=(
+                        serving.admission.backlog() if serving.admission is not None else 0
+                    ),
+                    worker_backlog=cluster.total_queued_requests(),
                 )
                 last = now
                 conn.send(reply.encode())
+            elif isinstance(message, messages.ScaleOutcomes):
+                if autoscaler is not None:
+                    autoscaler.apply_outcomes(message.window_end_s, message.outcomes)
+            elif isinstance(message, messages.StealRequest):
+                entries = []
+                if serving.admission is not None:
+                    for tenant, offered_at, prompt in serving.admission.steal_tail(
+                        message.count
+                    ):
+                        entries.append(
+                            {
+                                "tenant": tenant,
+                                "offer_time_s": offered_at,
+                                "prompt": asdict(prompt),
+                            }
+                        )
+                conn.send(
+                    messages.StolenWork(
+                        shard_id=spec.shard_id,
+                        window_end_s=message.window_end_s,
+                        entries=tuple(entries),
+                    ).encode()
+                )
+            elif isinstance(message, messages.WorkTransfer):
+                # The migration *is* the admission decision: stolen work
+                # bypasses this shard's fair-share front door (its arrival
+                # was already recorded and admission-counted at the source).
+                for entry in message.entries:
+                    serving._dispatch_prompt(
+                        Prompt(**entry["prompt"]),
+                        arrival_time_s=float(entry["offer_time_s"]),
+                    )
             elif isinstance(message, messages.Finalize):
                 # Sent as the typed object: the pipe pickles numpy columns
                 # directly instead of round-tripping them through lists.
@@ -448,6 +592,10 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
         ),
         "retraining_events": getattr(serving, "retraining_events", None),
     }
+    autoscaler = getattr(serving, "autoscaler", None)
+    if autoscaler is not None:
+        extras["autoscale_events"] = [asdict(event) for event in autoscaler.events]
+        extras["scale_denials"] = int(autoscaler.denied_requests)
     if serving.cache is not None:
         # Mirror ApproximateCache.hit_rate: the default store plus every
         # tenant namespace (tenant-partitioned runs keep hits in the latter).
@@ -471,6 +619,7 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
                     "delayed": stats.delayed,
                     "mean_wait_s": stats.mean_wait_s,
                     "max_wait_s": stats.max_wait_s,
+                    "stolen": stats.stolen,
                 }
     return messages.ShardResult(
         shard_id=spec.shard_id,
@@ -503,15 +652,225 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
 # --------------------------------------------------------------------------- #
 
 
-def _window_boundaries(total_s: float, window_s: float) -> list[float]:
-    """Barrier times covering (0, total_s], ending exactly at ``total_s``."""
-    boundaries = []
-    t = window_s
-    while t < total_s:
-        boundaries.append(t)
-        t += window_s
-    boundaries.append(total_s)
+def _window_boundaries(
+    total_s: float, window_s: float, epoch_s: float | None = None
+) -> list[tuple[float, bool]]:
+    """Barrier times covering (0, total_s], ending exactly at ``total_s``.
+
+    Returns ``(time, epoch_boundary)`` pairs.  Without ``epoch_s`` every
+    flag is False.  With it (autoscaled runs) the boundaries are the sorted
+    union of the sync-window grid and the fixed ``autoscale_epoch_s`` grid,
+    and the flag marks the epoch grid points: the scale request/grant
+    exchange happens *only* there, so the autoscaling control flow — and
+    with it the whole run — is invariant under the choice of
+    ``sync_window_s``.  Grid points are exact multiples (not accumulated
+    sums), so coinciding window/epoch boundaries dedupe exactly.
+    """
+    tol = 1e-6
+    points: list[float] = []
+    k = 1
+    while k * window_s < total_s - tol:
+        points.append(k * window_s)
+        k += 1
+    if epoch_s is not None:
+        k = 1
+        while k * epoch_s < total_s - tol:
+            points.append(k * epoch_s)
+            k += 1
+    points.append(total_s)
+    points.sort()
+    boundaries: list[tuple[float, bool]] = []
+    for t in points:
+        if boundaries and abs(t - boundaries[-1][0]) <= tol:
+            continue
+        on_epoch = epoch_s is not None and abs(t - round(t / epoch_s) * epoch_s) <= tol
+        boundaries.append((t, on_epoch))
     return boundaries
+
+
+class _BudgetBroker:
+    """Coordinator-side grant authority for brokered per-shard autoscaling.
+
+    Keeps a committed-workers ledger per shard (seeded with the plan's
+    initial partitions) and answers the shards' :class:`~repro.simulation.
+    messages.ScaleRequest`s against the *global* budget: scale-outs are
+    clamped to the ``max_workers`` headroom and draw GPU types from the
+    global ``gpu_mix`` cycle (so the fleet mix matches a sequential
+    deployment); scale-ins are granted only while the global fleet stays at
+    or above ``min_workers`` and the shard keeps at least one worker.
+    Requests are processed in (shard id, seq) order — a pure function of
+    the simulated runs, never of process timing — which is what makes
+    autoscaled N-shard runs reproducible.
+    """
+
+    def __init__(self, config, plan: ShardPlan) -> None:
+        self.min_workers = int(config.effective_min_workers)
+        self.max_workers = int(config.effective_max_workers)
+        self._mix = tuple(config.effective_gpu_mix)
+        self._mix_index = 0
+        self.committed: dict[int, int] = {
+            spec.shard_id: spec.num_workers for spec in plan.shards
+        }
+        self.grant_log: list[dict] = []
+
+    @property
+    def total_committed(self) -> int:
+        return sum(self.committed.values())
+
+    def _next_gpu(self) -> str:
+        gpu = self._mix[self._mix_index % len(self._mix)]
+        self._mix_index += 1
+        return gpu
+
+    def grant(self, window_end_s: float, replies) -> dict[int, messages.ScaleOutcomes]:
+        """Decide every shard's asks for one epoch boundary.
+
+        Returns a :class:`~repro.simulation.messages.ScaleOutcomes` per
+        shard — for *all* shards, empty or not, so the reply fan-out stays
+        lockstep with the barrier.
+        """
+        outcomes: dict[int, list] = {reply.shard_id: [] for reply in replies}
+        asks = [
+            (reply.shard_id, request)
+            for reply in replies
+            for request in reply.scale_requests
+        ]
+        asks.sort(key=lambda item: (item[0], item[1].seq))
+        for shard_id, request in asks:
+            if request.action == "scale_out":
+                headroom = self.max_workers - self.total_committed
+                granted = max(0, min(int(request.count), headroom))
+                gpus = tuple(self._next_gpu() for _ in range(granted))
+                self.committed[shard_id] += granted
+                outcome = messages.ScaleOutcome(
+                    seq=request.seq, action="scale_out", granted=granted, gpus=gpus
+                )
+            else:
+                allowed = (
+                    self.total_committed - 1 >= self.min_workers
+                    and self.committed[shard_id] > 1
+                )
+                granted = 1 if allowed else 0
+                self.committed[shard_id] -= granted
+                outcome = messages.ScaleOutcome(
+                    seq=request.seq, action="scale_in", granted=granted
+                )
+            outcomes[shard_id].append(outcome)
+            self.grant_log.append(
+                {
+                    "window_end_s": window_end_s,
+                    "shard": shard_id,
+                    "seq": request.seq,
+                    "action": request.action,
+                    "requested": int(request.count),
+                    "granted": granted,
+                    "committed_total": self.total_committed,
+                }
+            )
+        return {
+            shard_id: messages.ScaleOutcomes(
+                window_end_s=window_end_s, outcomes=tuple(decided)
+            )
+            for shard_id, decided in outcomes.items()
+        }
+
+
+def _map_faults(faults, plan: ShardPlan, num_workers: int) -> dict[int, list]:
+    """Map fleet-fraction fault events onto shard-local worker ids.
+
+    A fleet-fraction event faults the lowest ``round(frac × num_workers)``
+    *global* worker ids — exactly the set the sequential run faults.
+    Global ids map onto shards in shard order (shard s owns the contiguous
+    id block after the earlier partitions), so the per-shard fault lists
+    and times are a deterministic function of the plan alone.
+    """
+    starts: dict[int, int] = {}
+    offset = 0
+    for spec in plan.shards:
+        starts[spec.shard_id] = offset
+        offset += spec.num_workers
+    per_shard: dict[int, list] = {spec.shard_id: [] for spec in plan.shards}
+    for event in faults:
+        recover_s = (
+            None if event.recover_at_minute is None else event.recover_at_minute * 60.0
+        )
+        for worker_id in event.worker_ids(num_workers):
+            for spec in plan.shards:
+                start = starts[spec.shard_id]
+                if start <= worker_id < start + spec.num_workers:
+                    per_shard[spec.shard_id].append(
+                        (worker_id - start, event.fail_at_minute * 60.0, recover_s)
+                    )
+                    break
+    return per_shard
+
+
+#: A destination may hold this many batches per active worker in its worker
+#: queues after a transfer.  Topping idle shards up to a shallow queue depth
+#: every barrier beats dumping the whole budget at once: the destination
+#: keeps serving at line rate, stays eligible next window, and the migration
+#: rate self-limits to the spare capacity it can actually absorb.
+_STEAL_DEPTH_FACTOR = 4
+
+
+def _coordinate_steal(config, conns, replies, window_end_s: float) -> dict | None:
+    """One barrier's work-stealing pass; returns a log entry or None.
+
+    Source: the shard with the largest admission backlog (ties: lowest
+    shard id), if it clears ``steal_backlog_threshold``.  Destinations:
+    every other shard with no admission backlog of its own and spare worker
+    queue depth (``_STEAL_DEPTH_FACTOR`` batches per active worker),
+    least-loaded first; each takes only enough to top its queues up to that
+    depth.  The coordinator asks the source for up to ``steal_max_fraction``
+    of its backlog — capped by what the destinations can absorb — and
+    forwards contiguous chunks (whole admission-queue tails; in-flight work
+    never moves).  Stealing reacts to backlog sampled at barrier
+    boundaries, so unlike the autoscale exchange it is *not* sync-window
+    invariant — one reason the knob defaults off.
+    """
+    source = max(replies, key=lambda r: (r.admission_backlog, -r.shard_id))
+    if source.admission_backlog < config.steal_backlog_threshold:
+        return None
+    batch = max(1, config.max_batch_size)
+    takes: list[tuple[int, int]] = []
+    for reply in sorted(replies, key=lambda r: (r.worker_backlog, r.shard_id)):
+        if reply.shard_id == source.shard_id or reply.admission_backlog > 0:
+            continue
+        depth = reply.fleet.active_workers * batch * _STEAL_DEPTH_FACTOR
+        spare = depth - reply.worker_backlog
+        if spare > 0:
+            takes.append((reply.shard_id, spare))
+    budget = min(
+        int(source.admission_backlog * config.steal_max_fraction),
+        sum(spare for _, spare in takes),
+    )
+    if not takes or budget < 1:
+        return None
+    conns[source.shard_id].send(
+        messages.StealRequest(window_end_s=window_end_s, count=budget).encode()
+    )
+    stolen = messages.decode(conns[source.shard_id].recv())
+    entries = list(stolen.entries)
+    moved: dict[int, int] = {}
+    cursor = 0
+    for shard_id, spare in takes:
+        if cursor >= len(entries):
+            break
+        chunk = entries[cursor : cursor + min(spare, len(entries) - cursor)]
+        conns[shard_id].send(
+            messages.WorkTransfer(
+                window_end_s=window_end_s, entries=tuple(chunk)
+            ).encode()
+        )
+        moved[shard_id] = len(chunk)
+        cursor += len(chunk)
+    return {
+        "window_end_s": window_end_s,
+        "source": source.shard_id,
+        "requested": budget,
+        "stolen": len(entries),
+        "moved": moved,
+    }
 
 
 def _merge_fleet_minutes(results) -> tuple[list, dict]:
@@ -583,15 +942,20 @@ def run_scenario_sharded(
         )
 
     faults, _, _ = scenario.schedule(preset_spec)
-    if faults:
-        raise ValueError(
-            "sharded runs cannot schedule worker faults: fault events address "
-            "worker ids in the global fleet, which a partitioned run does not "
-            "have; run fault scenarios sequentially (shards=1)"
-        )
+    for event in faults:
+        if event.worker_id is not None:
+            raise ValueError(
+                "sharded runs cannot schedule worker faults by worker_id: "
+                "global worker ids do not exist in a partitioned fleet; use a "
+                "fleet_fraction fault instead, which maps onto the shard "
+                "partitions deterministically"
+            )
 
     trace = scenario.trace.build(seed=seed, **preset_spec.trace_params)
     plan = plan_shards(config, trace=trace)
+    fault_map = _map_faults(faults, plan, config.num_workers) if faults else None
+    autoscale = bool(config.autoscale_enabled)
+    stealing = bool(config.shard_work_stealing) and plan.mode == "tenant"
     scenario_dict = scenario.to_dict()
     arrival_split = _partition_arrivals(
         build_stream(scenario, preset_spec, config, trace, seed), plan
@@ -619,6 +983,8 @@ def run_scenario_sharded(
                 "arrivals": (
                     arrival_split[spec.shard_id] if arrival_split is not None else None
                 ),
+                "stealing": stealing,
+                "faults": fault_map[spec.shard_id] if fault_map is not None else [],
             }
             process = ctx.Process(
                 target=_shard_main, args=(payload, child_conn), daemon=True
@@ -630,24 +996,41 @@ def run_scenario_sharded(
 
         duration_s = trace.duration_minutes * 60.0
         boundaries = _window_boundaries(
-            duration_s + preset_spec.drain_s, config.sync_window_s
+            duration_s + preset_spec.drain_s,
+            config.sync_window_s,
+            epoch_s=config.autoscale_epoch_s if autoscale else None,
         )
+        broker = _BudgetBroker(config, plan) if autoscale else None
         barrier_log: list[dict] = []
-        for end in boundaries:
-            window = messages.RunWindow(window_end_s=end).encode()
+        steal_log: list[dict] = []
+        for end, epoch in boundaries:
+            window = messages.RunWindow(window_end_s=end, epoch_boundary=epoch).encode()
             for conn in conns:
                 conn.send(window)
             # The recv below is the barrier: the window's merged deltas exist
             # only once every shard has reached the boundary.
             replies = [messages.decode(conn.recv()) for conn in conns]
-            barrier_log.append(
-                {
-                    "window_end_s": end,
-                    "completions": sum(r.metrics.completions for r in replies),
-                    "arrivals": sum(r.metrics.arrivals for r in replies),
-                    "active_workers": sum(r.fleet.active_workers for r in replies),
-                }
-            )
+            entry = {
+                "window_end_s": end,
+                "completions": sum(r.metrics.completions for r in replies),
+                "arrivals": sum(r.metrics.arrivals for r in replies),
+                "active_workers": sum(r.fleet.active_workers for r in replies),
+                "in_fleet": sum(
+                    r.fleet.active_workers + r.fleet.provisioning_workers
+                    for r in replies
+                ),
+            }
+            if broker is not None:
+                if epoch:
+                    outcome_map = broker.grant(end, replies)
+                    for spec, conn in zip(plan.shards, conns):
+                        conn.send(outcome_map[spec.shard_id].encode())
+                entry["committed_workers"] = broker.total_committed
+            if stealing:
+                steal_entry = _coordinate_steal(config, conns, replies, end)
+                if steal_entry is not None:
+                    steal_log.append(steal_entry)
+            barrier_log.append(entry)
         finalize = messages.Finalize().encode()
         for conn in conns:
             conn.send(finalize)
@@ -684,13 +1067,39 @@ def run_scenario_sharded(
     total_workers = sum(r.num_workers for r in results)
     total_batches = sum(r.batches_served for r in results)
     total_served = sum(r.requests_served for r in results)
+    # With stealing on, every shard carries the full tenant table; ownership
+    # (the plan's tenant placement) decides whose per-tenant rows count.
+    owner: dict[str, int] = {}
+    for spec in plan.shards:
+        for name in spec.tenant_names or ():
+            owner[name] = spec.shard_id
     tenants: tuple[TenantSummary, ...] = ()
     if config.tenants:
         rows = {}
         for result in results:
             for name, entry in result.tenant_extras.items():
-                if "summary" in entry:
-                    rows[name] = TenantSummary(**entry["summary"])
+                if "summary" not in entry:
+                    continue
+                if owner.get(name, result.shard_id) != result.shard_id:
+                    continue
+                rows[name] = TenantSummary(**entry["summary"])
+        if stealing:
+            # Stolen requests complete on other shards, so each tenant's
+            # outcome columns are recomputed from the merged collector (the
+            # same data summarize() reads); owner-shard-scoped fields —
+            # cache hit rate, admission accounting — stay with the row.
+            runtimes = build_runtimes(config.tenants, config.slo)
+            for name, row in rows.items():
+                stats = merged.tenant_stats(name, runtimes[name].budget_s)
+                rows[name] = replace(
+                    row,
+                    arrivals=stats["arrivals"],
+                    completions=stats["completions"],
+                    dropped=stats["dropped"],
+                    slo_violation_ratio=stats["violation_ratio"],
+                    mean_relative_quality=stats["mean_relative_quality"],
+                    p99_latency_s=stats["p99_latency_s"],
+                )
         tenants = tuple(rows[spec.name] for spec in config.tenants if spec.name in rows)
 
     summary = summarize(
@@ -744,12 +1153,14 @@ def run_scenario_sharded(
         extras["retraining_events"] = sum(s or 0 for s in retrains)
     if config.tenants:
         extras["fair_share_index"] = summary.fair_share_index
-        admission = {
-            name: entry["admission"]
-            for result in results
-            for name, entry in result.tenant_extras.items()
-            if "admission" in entry
-        }
+        admission = {}
+        for result in results:
+            for name, entry in result.tenant_extras.items():
+                if "admission" not in entry:
+                    continue
+                if owner.get(name, result.shard_id) != result.shard_id:
+                    continue
+                admission[name] = entry["admission"]
         if admission:
             extras["admission"] = admission
     extras["sharding"] = {
@@ -777,6 +1188,25 @@ def run_scenario_sharded(
         ],
         "barriers": barrier_log,
     }
+    if broker is not None:
+        extras["sharding"]["autoscale"] = {
+            "epoch_s": config.autoscale_epoch_s,
+            "min_workers": broker.min_workers,
+            "max_workers": broker.max_workers,
+            "committed": dict(broker.committed),
+            "grants": broker.grant_log,
+            "denied_requests": sum(r.extras.get("scale_denials", 0) for r in results),
+            "events": {
+                r.shard_id: r.extras.get("autoscale_events", []) for r in results
+            },
+        }
+    if stealing:
+        extras["sharding"]["stealing"] = {
+            "backlog_threshold": config.steal_backlog_threshold,
+            "max_fraction": config.steal_max_fraction,
+            "events": steal_log,
+            "stolen_total": sum(e["stolen"] for e in steal_log),
+        }
     if record_messages:
         extras["sharding"]["messages"] = {r.shard_id: list(r.messages) for r in results}
 

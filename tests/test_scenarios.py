@@ -241,6 +241,14 @@ SCENARIO_CHECKS = {
     "bursty-load-switch": lambda run: run.extras["strategy_switches"] >= 2,
     "fig16-xl": lambda run: run.summary.slo_violation_ratio < 0.1
     and run.summary.total_completions > 500,
+    # Sequential legs of the sharded scenarios: the elastic fleet must
+    # actually scale, and the skewed burst must pile up behind the hot
+    # tenant's share while the cold tenant stays healthy — the backlog the
+    # sharded run's work stealing exists to migrate.
+    "sharded-autoscale": lambda run: run.summary.workers_added > 0
+    and run.summary.fleet_peak_workers > run.config.num_workers,
+    "sharded-steal": lambda run: run.summary.tenant("hot").admission_delayed > 100
+    and run.summary.tenant("cold").slo_violation_ratio < 0.1,
     "tenant-fair-share": lambda run: _fair_share_ok(run),
     "tenant-noisy-neighbor": lambda run: _noisy_neighbor_ok(run),
     "tenant-tiered-slo": lambda run: _tiered_slo_ok(run),

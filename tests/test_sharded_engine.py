@@ -28,8 +28,10 @@ from repro.simulation import shard as shard_mod
 from repro.simulation.shard import (
     ShardSpec,
     _filtered_stream,
+    _map_faults,
     _partition_arrivals,
     _split_workers,
+    _tenant_sliced_stream,
     plan_shards,
     run_scenario_sharded,
 )
@@ -145,6 +147,39 @@ class TestMessages:
             cache_hit=True,
         ),
         messages.RequeueMessage(shard_id=2, request_id=9, time_s=30.0, tenant="beta"),
+        messages.ScaleRequest(
+            seq=3, action="scale_out", time_s=45.0, count=2, reason="demand above ceiling"
+        ),
+        messages.ScaleOutcome(seq=3, action="scale_out", granted=1, gpus=("a100",)),
+        messages.ScaleOutcomes(
+            window_end_s=60.0,
+            outcomes=(
+                messages.ScaleOutcome(seq=3, action="scale_out", granted=1, gpus=("a100",)),
+                messages.ScaleOutcome(seq=4, action="scale_in", granted=0),
+            ),
+        ),
+        messages.StealRequest(window_end_s=90.0, count=5),
+        messages.StolenWork(
+            shard_id=1,
+            window_end_s=90.0,
+            entries=(
+                {
+                    "tenant": "hot",
+                    "offer_time_s": 84.5,
+                    "prompt": {"prompt_id": 11, "tenant": "hot"},
+                },
+            ),
+        ),
+        messages.WorkTransfer(
+            window_end_s=90.0,
+            entries=(
+                {
+                    "tenant": "hot",
+                    "offer_time_s": 84.5,
+                    "prompt": {"prompt_id": 11, "tenant": "hot"},
+                },
+            ),
+        ),
     ]
 
     @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: m.kind)
@@ -160,11 +195,20 @@ class TestMessages:
             window_end_s=120.0,
             metrics=self.SAMPLES[1],
             fleet=self.SAMPLES[2],
+            scale_requests=(
+                messages.ScaleRequest(seq=1, action="scale_out", time_s=100.0, count=2),
+            ),
+            admission_backlog=7,
+            worker_backlog=3,
         )
         decoded = messages.decode(json.loads(json.dumps(reached.encode())))
         assert decoded == reached
         assert isinstance(decoded.metrics, messages.MetricsDelta)
         assert isinstance(decoded.fleet, messages.FleetDelta)
+        assert all(
+            isinstance(request, messages.ScaleRequest)
+            for request in decoded.scale_requests
+        )
 
     def test_shard_result_round_trips_numpy_columns(self):
         result = messages.ShardResult(
@@ -262,9 +306,29 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             ArgusConfig(num_workers=8, shards=3, tenants=_TENANTS[:2])
 
-    def test_rejects_autoscaling_with_shards(self):
-        with pytest.raises(ValueError):
-            ArgusConfig(num_workers=8, shards=2, autoscale_enabled=True)
+    def test_accepts_autoscaling_with_shards(self):
+        # PR 7 lifted the shards × autoscale rejection: per-shard loops run
+        # in brokered mode under the coordinator's global budget.
+        config = ArgusConfig(num_workers=8, shards=2, autoscale_enabled=True)
+        assert config.autoscale_enabled and config.shards == 2
+
+    def test_rejects_nonpositive_autoscale_epoch(self):
+        with pytest.raises(ValueError, match="autoscale_epoch_s"):
+            ArgusConfig(num_workers=4, autoscale_epoch_s=0.0)
+
+    def test_rejects_bad_steal_thresholds(self):
+        with pytest.raises(ValueError, match="steal_backlog_threshold"):
+            ArgusConfig(num_workers=4, steal_backlog_threshold=0)
+        with pytest.raises(ValueError, match="steal_max_fraction"):
+            ArgusConfig(num_workers=4, steal_max_fraction=0.0)
+        with pytest.raises(ValueError, match="steal_max_fraction"):
+            ArgusConfig(num_workers=4, steal_max_fraction=1.5)
+
+    def test_rejects_stealing_without_admission(self):
+        # Stealing migrates admission-queue tails; a single-tenant (hash
+        # mode) shard set has no fair-share admission to steal from.
+        with pytest.raises(ValueError, match="shard_work_stealing"):
+            ArgusConfig(num_workers=8, shards=2, shard_work_stealing=True)
 
 
 # --------------------------------------------------------------------------- #
@@ -302,10 +366,11 @@ class TestStreamSlicing:
         plan = plan_shards(config)
         split = _partition_arrivals(stream, plan)
         assert split is not None and len(split) == 3
+        assert all(entry["kind"] == "replay" for entry in split)
         merged = sorted(
             (float(t), int(slot))
-            for times, slots in split
-            for t, slot in zip(times, slots)
+            for entry in split
+            for t, slot in zip(entry["times"], entry["slots"])
         )
         full = [
             (tp.arrival_time_s, tp.prompt.prompt_id % len(stream.dataset))
@@ -328,16 +393,37 @@ class TestStreamSlicing:
 
         assert _partition_arrivals(NotARequestStream(), plan) is None
 
-    def test_partition_arrivals_declines_multi_tenant_streams(self):
-        # Tenant streams interleave per-tenant arrival processes over
-        # per-tenant datasets, so membership is not slot-stable; tenant-mode
-        # shards keep the shard-side generic filter (proven byte-identical
-        # in TestShardedRuns).
+    def test_partition_arrivals_slices_tenant_streams(self):
+        # Tenant arrivals are lazy per-tenant draws, so the coordinator
+        # hands each shard its tenant *indices* and the shard heap-merges
+        # only those streams — no per-shard walk of the full interleave.
         scenario = _scenario(tenants=_TENANTS)
         stream = _stream_for(scenario)
         config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 3})
         plan = plan_shards(config)
-        assert _partition_arrivals(stream, plan) is None
+        split = _partition_arrivals(stream, plan)
+        assert split is not None and len(split) == 3
+        assert all(entry["kind"] == "tenant_indices" for entry in split)
+        covered = sorted(index for entry in split for index in entry["indices"])
+        assert covered == [0, 1, 2]
+
+    def test_tenant_sliced_stream_matches_generic_filter(self):
+        scenario = _scenario(tenants=_TENANTS)
+        stream = _stream_for(scenario)
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 2})
+        plan = plan_shards(config)
+        split = _partition_arrivals(stream, plan)
+        for spec, entry in zip(plan.shards, split):
+            sliced = [
+                (tp.arrival_time_s, tp.prompt.tenant, tp.prompt.prompt_id)
+                for tp in _tenant_sliced_stream(stream, entry["indices"])
+            ]
+            filtered = [
+                (tp.arrival_time_s, tp.prompt.tenant, tp.prompt.prompt_id)
+                for tp in stream
+                if spec.accepts(tp.prompt)
+            ]
+            assert sliced == filtered
 
 
 # --------------------------------------------------------------------------- #
@@ -418,10 +504,11 @@ class TestShardedRuns:
             total_completions += len(completions)
         assert total_completions == run.summary.total_completions
 
-    def test_fault_schedules_are_rejected(self):
+    def test_worker_id_faults_are_rejected_naming_the_alternative(self):
         scenario = _scenario(faults=(FaultEvent(fail_at_minute=2.0, worker_id=0),))
-        with pytest.raises(ValueError, match="worker faults"):
+        with pytest.raises(ValueError, match="worker faults") as excinfo:
             run_scenario_sharded(scenario, preset="full", seed=0, shards=2)
+        assert "fleet_fraction" in str(excinfo.value)
 
     def test_sharding_extras_describe_the_plan(self):
         run = run_scenario_sharded(_scenario(), preset="full", seed=1, shards=2)
@@ -431,3 +518,197 @@ class TestShardedRuns:
         assert len(sharding["plan"]) == 2
         assert sum(p["workers"] for p in sharding["plan"]) == 8
         assert sharding["barriers"][-1]["window_end_s"] >= 8 * 60.0
+        # knobs-off runs carry no control-plane blocks (pinned no-op)
+        assert "autoscale" not in sharding
+        assert "stealing" not in sharding
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection in sharded runs
+# --------------------------------------------------------------------------- #
+
+
+class TestShardedFaults:
+    def test_map_faults_covers_the_sequential_fault_set(self):
+        scenario = _scenario()
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 3})
+        plan = plan_shards(config)
+        event = FaultEvent(fail_at_minute=1.0, recover_at_minute=3.0, fleet_fraction=0.5)
+        mapped = _map_faults((event,), plan, config.num_workers)
+        # reconstruct global ids from the shard-local ones: shard s owns the
+        # contiguous block after the earlier partitions
+        starts, offset = {}, 0
+        for spec in plan.shards:
+            starts[spec.shard_id] = offset
+            offset += spec.num_workers
+        reconstructed = sorted(
+            starts[shard_id] + local_id
+            for shard_id, entries in mapped.items()
+            for local_id, _fail, _recover in entries
+        )
+        assert reconstructed == sorted(event.worker_ids(config.num_workers))
+        for entries in mapped.values():
+            for _local, fail_s, recover_s in entries:
+                assert fail_s == 60.0 and recover_s == 180.0
+
+    def test_fleet_fraction_faults_run_deterministically(self):
+        scenario = _scenario(
+            faults=(
+                FaultEvent(fail_at_minute=2.0, recover_at_minute=5.0, fleet_fraction=0.5),
+            )
+        )
+        baseline = run_scenario(
+            _scenario(), preset="full", seed=4
+        )  # same workload, no faults
+        first = run_scenario_sharded(scenario, preset="full", seed=4, shards=2)
+        second = run_scenario_sharded(scenario, preset="full", seed=4, shards=2)
+        assert _report(first) == _report(second)
+        # the fault window visibly degrades service relative to no faults
+        assert first.summary.total_arrivals == baseline.summary.total_arrivals
+        assert _digest(first) != _digest(baseline)
+
+
+# --------------------------------------------------------------------------- #
+# Brokered autoscaling
+# --------------------------------------------------------------------------- #
+
+
+def _autoscaled_scenario():
+    """A fig16-xl-class overload: demand far above the initial fleet, so the
+    per-shard loops must ask the broker for workers to keep up."""
+    return _scenario(
+        num_workers=4,
+        base_qpm=60.0,
+        peak_qpm=240.0,
+        duration=8,
+        autoscale_enabled=True,
+        min_workers=2,
+        max_workers=10,
+        provision_delay_s=30.0,
+        autoscale_epoch_s=60.0,
+    )
+
+
+class TestBrokeredAutoscaling:
+    def test_autoscaled_run_is_deterministic_and_window_invariant(self):
+        scenario = _autoscaled_scenario()
+        for shards in (2, 4):
+            narrow = run_scenario_sharded(
+                scenario, preset="full", seed=3, shards=shards, sync_window_s=30.0
+            )
+            wide = run_scenario_sharded(
+                scenario, preset="full", seed=3, shards=shards, sync_window_s=120.0
+            )
+            repeat = run_scenario_sharded(
+                scenario, preset="full", seed=3, shards=shards, sync_window_s=30.0
+            )
+            assert _report(narrow) == _report(repeat)
+            # identical RunSummary across barrier widths: the request/grant
+            # exchange sits on the fixed epoch grid, not the window grid
+            assert _digest(narrow) == _digest(wide)
+            assert (
+                narrow.extras["sharding"]["autoscale"]
+                == wide.extras["sharding"]["autoscale"]
+            )
+            assert (
+                narrow.extras["sharding"]["per_shard"]
+                == wide.extras["sharding"]["per_shard"]
+            )
+
+    def test_autoscaled_run_never_exceeds_the_global_budget(self):
+        scenario = _autoscaled_scenario()
+        run = run_scenario_sharded(scenario, preset="full", seed=3, shards=4)
+        auto = run.extras["sharding"]["autoscale"]
+        granted = [g for g in auto["grants"] if g["granted"] > 0]
+        assert granted, "overload scenario must produce at least one grant"
+        assert auto["max_workers"] == 10
+        for barrier in run.extras["sharding"]["barriers"]:
+            assert barrier["in_fleet"] <= auto["max_workers"]
+            assert barrier["committed_workers"] <= auto["max_workers"]
+            assert barrier["committed_workers"] >= 0
+        assert sum(auto["committed"].values()) <= auto["max_workers"]
+
+    def test_scaled_fleet_serves_more_than_the_static_fleet(self):
+        scenario = _autoscaled_scenario()
+        static = _scenario(
+            num_workers=4, base_qpm=60.0, peak_qpm=240.0, duration=8
+        )
+        scaled_run = run_scenario_sharded(scenario, preset="full", seed=9, shards=2)
+        static_run = run_scenario_sharded(static, preset="full", seed=9, shards=2)
+        assert scaled_run.summary.fleet_peak_workers > static_run.summary.fleet_peak_workers
+        assert scaled_run.summary.total_completions >= static_run.summary.total_completions
+
+
+# --------------------------------------------------------------------------- #
+# Cross-shard work stealing
+# --------------------------------------------------------------------------- #
+
+#: Two tenants with equal contracts but a violent burst on one: the tenant
+#: bin-pack splits them 1:1 onto two shards, and the burst buries the hot
+#: shard's admission queue while the cold shard idles.
+# A burst the planner provisions for on *average* (the bin-pack sees the
+# 8-minute extra_qpm sum) but that transiently overwhelms the hot shard at
+# ~3x its planned rate, while the cold shard keeps steady headroom — the
+# exact shape cross-shard stealing is for.
+_SKEWED_TENANTS = [
+    {
+        "name": "hot",
+        "traffic_share": 0.2,
+        "extra_qpm": [0.0, 0.0, 150.0, 150.0, 150.0, 0.0, 0.0, 0.0],
+    },
+    {"name": "cold", "traffic_share": 0.8},
+]
+
+
+def _skewed_scenario(stealing: bool):
+    return _scenario(
+        num_workers=6,
+        tenants=_SKEWED_TENANTS,
+        duration=8,
+        base_qpm=24.0,
+        peak_qpm=36.0,
+        fair_share_admission=True,
+        shard_work_stealing=stealing,
+        steal_backlog_threshold=4,
+        steal_max_fraction=1.0,
+        sync_window_s=15.0,
+    )
+
+
+class TestWorkStealing:
+    def _tenant_row(self, run, name):
+        return next(t for t in run.summary.tenants if t.name == name)
+
+    def test_stealing_drops_hot_tenant_p99_and_conserves_totals(self):
+        off = run_scenario_sharded(_skewed_scenario(False), preset="full", seed=11, shards=2)
+        on = run_scenario_sharded(_skewed_scenario(True), preset="full", seed=11, shards=2)
+        stealing = on.extras["sharding"]["stealing"]
+        assert stealing["stolen_total"] > 0
+        assert stealing["events"], "skewed burst must trigger at least one steal"
+        # totals conserved: the same arrival stream, every request accounted
+        assert on.summary.total_arrivals == off.summary.total_arrivals
+        assert (
+            self._tenant_row(on, "hot").arrivals
+            == self._tenant_row(off, "hot").arrivals
+        )
+        assert (
+            self._tenant_row(on, "cold").arrivals
+            == self._tenant_row(off, "cold").arrivals
+        )
+        # the hot shard's burst latency tail collapses onto the idle shard
+        assert (
+            self._tenant_row(on, "hot").p99_latency_s
+            < self._tenant_row(off, "hot").p99_latency_s
+        )
+
+    def test_stealing_run_is_deterministic(self):
+        first = run_scenario_sharded(_skewed_scenario(True), preset="full", seed=11, shards=2)
+        second = run_scenario_sharded(_skewed_scenario(True), preset="full", seed=11, shards=2)
+        assert _report(first) == _report(second)
+
+    def test_stealing_off_is_a_pinned_noop(self):
+        run = run_scenario_sharded(_skewed_scenario(False), preset="full", seed=11, shards=2)
+        assert "stealing" not in run.extras["sharding"]
+        # per-tenant admission accounting reports no migrations
+        for entry in run.extras.get("admission", {}).values():
+            assert entry.get("stolen", 0) == 0
