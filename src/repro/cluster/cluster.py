@@ -98,6 +98,8 @@ class GpuCluster:
         #: workers drained out); failures do not count as scaling.
         self.workers_added = 0
         self.workers_retired = 0
+        #: Gray-failure injections applied over the run's lifetime.
+        self.workers_degraded = 0
         self.fleet_log: list[FleetLogEntry] = []
         self._log_fleet("initial fleet")
 
@@ -351,6 +353,41 @@ class GpuCluster:
                 recover_at_s,
                 lambda _e: self.recover_worker(worker_id),
                 name=f"recover-w{worker_id}",
+            )
+
+    def degrade_worker(self, worker_id: int, factor: float) -> None:
+        """Gray-fail a worker: in rotation, at ``factor`` of its speed."""
+        self.workers[worker_id].degrade(factor)
+        self.workers_degraded += 1
+        self._log_fleet(f"worker {worker_id} degraded to {factor:g}x")
+
+    def restore_worker(self, worker_id: int) -> None:
+        """End a worker's gray failure, restoring full speed."""
+        self.workers[worker_id].restore_speed()
+        self._log_fleet(f"worker {worker_id} restored to full speed")
+
+    def schedule_degradation(
+        self,
+        worker_id: int,
+        factor: float,
+        degrade_at_s: float,
+        restore_at_s: float | None = None,
+    ) -> None:
+        """Schedule a gray failure (and optional restore) on the engine."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError("degrade factor must be in (0, 1)")
+        self.engine.schedule_at(
+            degrade_at_s,
+            lambda _e: self.degrade_worker(worker_id, factor),
+            name=f"degrade-w{worker_id}",
+        )
+        if restore_at_s is not None:
+            if restore_at_s <= degrade_at_s:
+                raise ValueError("restore must happen after the degradation")
+            self.engine.schedule_at(
+                restore_at_s,
+                lambda _e: self.restore_worker(worker_id),
+                name=f"restore-w{worker_id}",
             )
 
     # ------------------------------------------------------------------ #

@@ -40,6 +40,15 @@ class TenantPriorityQueue:
 
     def __init__(self, weights: Mapping[str, float] | None = None) -> None:
         self._weights = dict(weights or {})
+        #: DRR credit banks the weight *ratio* to the heaviest configured
+        #: tenant, not the absolute weight.  Absolute credit would let a
+        #: uniform rescale of every tenant's weight change the serve
+        #: interleaving (weight 2.0 banks two serves per visit where 1.0
+        #: banks one), breaking the weight-scaling metamorphic contract;
+        #: ratios keep "double every weight" a strict no-op.
+        self._max_weight = max(
+            [1e-9, *(float(weight) for weight in self._weights.values())]
+        )
         #: tenant -> heap of (deadline_s, seq, request)
         self._subqueues: dict[str, list[tuple[float, int, Request]]] = {}
         #: Ring of tenant names in first-seen order.
@@ -50,7 +59,8 @@ class TenantPriorityQueue:
         self._size = 0
 
     def _weight(self, tenant: str) -> float:
-        return max(1e-9, float(self._weights.get(tenant, 1.0)))
+        weight = max(1e-9, float(self._weights.get(tenant, self._max_weight)))
+        return weight / self._max_weight
 
     @staticmethod
     def _deadline(request: Request) -> float:

@@ -132,6 +132,10 @@ class Worker:
         #: Service-rate multiplier relative to the zoo's reference GPU
         #: (1.0 on a homogeneous fleet; < 1.0 for slower generations).
         self.speed_factor = self.gpu.relative_speed / self._reference_gpu.relative_speed
+        #: Gray-failure state: the healthy speed to restore to, and the
+        #: active degradation multiplier (``None`` while healthy).
+        self._base_speed_factor = self.speed_factor
+        self._degrade_factor: float | None = None
         if memory_capacity_gib is None:
             memory_capacity_gib = self.gpu.memory_gib
         self.memory = GpuMemory(memory_capacity_gib)
@@ -634,6 +638,35 @@ class Worker:
             # The worker was on its way out anyway: finish the removal.
             self._retire()
         return orphans
+
+    # ------------------------------------------------------------------ #
+    # Gray failures (slow-not-dead)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the worker is gray-failed (serving at reduced speed)."""
+        return self._degrade_factor is not None
+
+    def degrade(self, factor: float) -> None:
+        """Gray-fail the worker: it stays in rotation but serves at
+        ``factor`` of its healthy speed.
+
+        The slowdown applies to batches launched from now on; an in-flight
+        GPU pass keeps the service time it was launched with (the gray
+        failure hits the machine, not physics already in motion).  Repeated
+        calls replace the factor rather than compounding it.
+        """
+        if not 0.0 < factor < 1.0:
+            raise ValueError("degrade factor must be in (0, 1)")
+        self._degrade_factor = float(factor)
+        self.speed_factor = self._base_speed_factor * self._degrade_factor
+
+    def restore_speed(self) -> None:
+        """End a gray failure, returning the worker to full speed."""
+        if self._degrade_factor is None:
+            return
+        self._degrade_factor = None
+        self.speed_factor = self._base_speed_factor
 
     def recover(self, level: ApproximationLevel | None = None) -> None:
         """Bring a failed worker back, optionally at a new level."""

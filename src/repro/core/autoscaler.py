@@ -89,6 +89,13 @@ class Autoscaler:
         self._awaiting: dict[int, messages.ScaleRequest] = {}
         self._request_seq = 0
         self.denied_requests = 0
+        #: Pre-emission (cooldown stamp, streak) per in-flight request seq,
+        #: restored on denial so a denied ask does not consume the cooldown.
+        self._denial_restore: dict[int, tuple[float, int]] = {}
+        #: Scale-in grants skipped at apply time (candidate failed meanwhile);
+        #: the shard ships this to the coordinator so the broker ledger can
+        #: be reconciled at the next barrier.
+        self.unapplied_scale_ins = 0
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -185,12 +192,15 @@ class Autoscaler:
             added += 1
         if added == 0:
             return False
-        self._overload_streak = 0
-        self._last_scale_out_s = now
         reason = f"demand {demand_qpm:.0f} QPM above fleet ceiling (saturation/backlog)"
         if self.brokered:
-            self._emit_request("scale_out", now, added, reason)
+            seq = self._emit_request("scale_out", now, added, reason)
+            self._denial_restore[seq] = (self._last_scale_out_s, self._overload_streak)
+            self._overload_streak = 0
+            self._last_scale_out_s = now
             return True
+        self._overload_streak = 0
+        self._last_scale_out_s = now
         self.events.append(
             ScalingEvent(
                 time_s=now,
@@ -255,14 +265,15 @@ class Autoscaler:
         if now - self._last_scale_in_s < self.config.scale_in_cooldown_s:
             return
         if self.brokered:
-            self._underload_streak = 0
-            self._last_scale_in_s = now
-            self._emit_request(
+            seq = self._emit_request(
                 "scale_in",
                 now,
                 1,
                 f"demand {demand_qpm:.0f} QPM fits the smaller fleet",
             )
+            self._denial_restore[seq] = (self._last_scale_in_s, self._underload_streak)
+            self._underload_streak = 0
+            self._last_scale_in_s = now
             return
         self.cluster.drain_worker(candidate.worker_id)
         if candidate.worker_id in self._added_ids:
@@ -283,13 +294,14 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # Brokered mode (sharded runs)
     # ------------------------------------------------------------------ #
-    def _emit_request(self, action: str, now: float, count: int, reason: str) -> None:
+    def _emit_request(self, action: str, now: float, count: int, reason: str) -> int:
         self._request_seq += 1
         self._pending.append(
             messages.ScaleRequest(
                 seq=self._request_seq, action=action, time_s=now, count=count, reason=reason
             )
         )
+        return self._request_seq
 
     def take_requests(self) -> tuple:
         """Pending :class:`~repro.simulation.messages.ScaleRequest`s, in
@@ -301,14 +313,28 @@ class Autoscaler:
         self._pending.clear()
         return requests
 
+    def take_unapplied_scale_ins(self) -> int:
+        """Scale-in grants skipped since the last barrier (and reset).
+
+        The shard ships this count on its next :class:`BarrierReached`; the
+        coordinator adds it back to the broker's committed ledger, which
+        otherwise runs one worker high per skipped drain."""
+        count = self.unapplied_scale_ins
+        self.unapplied_scale_ins = 0
+        return count
+
     def apply_outcomes(self, now: float, outcomes) -> None:
         """Apply the broker's grants at the epoch boundary (clock == now).
 
         Granted scale-outs provision with the broker-assigned GPU types
         (the *global* mix cycle); granted scale-ins re-pick the LIFO drain
         candidate at apply time — if faults removed it meanwhile the grant
-        is skipped rather than draining an arbitrary worker.  Denials only
-        count; the streak/cooldown state already advanced at emission.
+        is skipped rather than draining an arbitrary worker, and the skip
+        is counted in :attr:`unapplied_scale_ins` so the coordinator can
+        reconcile the broker ledger at the next barrier.  A denial restores
+        the pre-emission cooldown stamp and streak, so a denied ask retries
+        on the next eligible tick instead of waiting out a cooldown it
+        never earned.
         """
         for outcome in outcomes:
             request = self._awaiting.pop(outcome.seq, None)
@@ -316,7 +342,14 @@ class Autoscaler:
                 continue
             if outcome.granted <= 0:
                 self.denied_requests += 1
+                restore = self._denial_restore.pop(outcome.seq, None)
+                if restore is not None:
+                    if outcome.action == "scale_out":
+                        self._last_scale_out_s, self._overload_streak = restore
+                    else:
+                        self._last_scale_in_s, self._underload_streak = restore
                 continue
+            self._denial_restore.pop(outcome.seq, None)
             if outcome.action == "scale_out":
                 fastest = self.zoo.fastest_level(self.active_strategy())
                 for gpu_name in outcome.gpus[: outcome.granted]:
@@ -340,6 +373,7 @@ class Autoscaler:
             else:
                 candidate = self._scale_in_candidate()
                 if candidate is None or self.cluster.fleet_size <= 1:
+                    self.unapplied_scale_ins += 1
                     continue
                 self.cluster.drain_worker(candidate.worker_id)
                 if candidate.worker_id in self._added_ids:

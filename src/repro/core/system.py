@@ -106,6 +106,11 @@ class ArgusSystem(BaseServingSystem):
             active=self.config.default_strategy,
         )
         self.drift_detector = DriftDetector()
+        #: Per-tenant drift state (tenanted runs only): each tenant's prompt
+        #: mix drifts independently, so one tenant's shift must neither hide
+        #: in another's median history nor fire on its behalf.  Untenanted
+        #: runs keep the single shared detector above (bit-pinned).
+        self._drift_detectors: dict[str, DriftDetector] = {}
         #: Closed-loop horizontal scaler (§6); None keeps the fixed pool.
         self.autoscaler: Autoscaler | None = None
         if self.config.autoscale_enabled:
@@ -324,9 +329,10 @@ class ArgusSystem(BaseServingSystem):
         self._recent_prompts.append(completed.request.prompt)
 
         if self.prompt_aware:
-            drift = self.drift_detector.observe(sample.pickscore)
+            detector = self._drift_detector_for(completed.request.prompt.tenant)
+            drift = detector.observe(sample.pickscore)
             if drift is not None:
-                self._retrain_classifiers()
+                self._retrain_classifiers(detector)
 
         attempted_retrieval = (
             completed.request.strategy is Strategy.AC
@@ -339,10 +345,25 @@ class ArgusSystem(BaseServingSystem):
             if self.switcher.active is not previous:
                 self._on_strategy_change(self.switcher.active)
 
+    def _drift_detector_for(self, tenant: str) -> DriftDetector:
+        """The drift detector observing ``tenant``'s completions.
+
+        Untenanted runs share the single :attr:`drift_detector` (the
+        bit-pinned original path); tenanted runs key detector state by
+        tenant so each tenant's PickScore history is compared only against
+        its own past.
+        """
+        if not self.config.tenants:
+            return self.drift_detector
+        detector = self._drift_detectors.get(tenant)
+        if detector is None:
+            detector = self._drift_detectors[tenant] = DriftDetector()
+        return detector
+
     # ------------------------------------------------------------------ #
     # Classifier retraining (off the critical path)
     # ------------------------------------------------------------------ #
-    def _retrain_classifiers(self) -> None:
+    def _retrain_classifiers(self, detector: DriftDetector | None = None) -> None:
         prompts = list(self._recent_prompts)
         if len(prompts) < 50 or not self.prompt_aware:
             return
@@ -355,7 +376,10 @@ class ArgusSystem(BaseServingSystem):
                 seed=self.config.seed + self.retraining_events,
             )
         self._apply_strategy(self.active_strategy)
-        self.drift_detector.reset()
+        # Retraining is global (the classifiers are shared) but only the
+        # detector that fired resets: the other tenants' windows keep
+        # accumulating evidence against their own history.
+        (detector or self.drift_detector).reset()
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by the benchmarks
@@ -367,3 +391,12 @@ class ArgusSystem(BaseServingSystem):
     def num_strategy_switches(self) -> int:
         """How many AC<->SM switches occurred during the run."""
         return self.switcher.num_switches
+
+    def drift_events(self) -> dict[str, int]:
+        """Drift events observed, keyed by tenant ("" = shared detector)."""
+        if not self.config.tenants:
+            return {"": self.drift_detector.num_drift_events}
+        return {
+            name: detector.num_drift_events
+            for name, detector in sorted(self._drift_detectors.items())
+        }

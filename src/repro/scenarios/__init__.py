@@ -7,6 +7,14 @@ classifier-drift phases and a cache-network timeline into one spec with
 runtime turns a spec into a run; ``python -m repro`` is the front door.
 """
 
+from repro.scenarios.contracts import (
+    ContractResult,
+    check_load_fleet_scaling,
+    check_weight_scaling_noop,
+    contract_names,
+    verify_report,
+    violations,
+)
 from repro.scenarios.registry import (
     get_scenario,
     list_scenarios,
@@ -24,6 +32,7 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "ContractResult",
     "DriftPhase",
     "FaultEvent",
     "NetworkWindow",
@@ -32,9 +41,14 @@ __all__ = [
     "ScenarioRun",
     "TraceSpec",
     "build_config",
+    "check_load_fleet_scaling",
+    "check_weight_scaling_noop",
+    "contract_names",
     "get_scenario",
     "list_scenarios",
     "register",
     "run_scenario",
     "scenario_names",
+    "verify_report",
+    "violations",
 ]

@@ -6,12 +6,15 @@ Commands::
     python -m repro describe <scenario> [--json]
     python -m repro run --scenario <name> [--preset small|full] [--seed N]
                         [--system argus] [--shards N] [--sync-window-s S]
-                        [--output report.json]
+                        [--output report.json] [--check-contracts]
 
 ``list --json`` prints the scenario names as a JSON array — the CI scenario
 matrix is generated from exactly that output.  ``run`` writes a
 scenario-tagged :class:`~repro.metrics.report.ScenarioReport` JSON file that
-is byte-identical across repeated runs with the same arguments.
+is byte-identical across repeated runs with the same arguments.  With
+``--check-contracts`` the run's report is verified against the scenario's
+declared invariant contracts and the command exits 1 on any violation —
+the CI ``contract-check`` job is exactly that, over the whole catalog.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import json
 import sys
 
 from repro.experiments.runner import SYSTEM_NAMES
+from repro.scenarios.contracts import verify_report, violations
 from repro.scenarios.registry import get_scenario, list_scenarios, scenario_names
 from repro.scenarios.runtime import run_scenario
 
@@ -141,6 +145,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"  {key:<22}{run.extras[key]}")
         if args.output:
             print(f"  report written to {args.output}")
+    if args.check_contracts:
+        results = verify_report(report, scenario.contracts)
+        failed = violations(results)
+        stream = sys.stderr if failed else sys.stdout
+        if not args.quiet or failed:
+            print(f"contracts ({scenario.name}):", file=stream)
+            for result in results:
+                print(f"  {result}", file=stream)
+        if failed:
+            return 1
     return 0
 
 
@@ -177,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="barrier window in simulated seconds for sharded runs",
     )
     run_parser.add_argument("--output", default=None, help="write the JSON report here")
+    run_parser.add_argument(
+        "--check-contracts", action="store_true", dest="check_contracts",
+        help="verify the scenario's invariant contracts against the report; "
+        "exit 1 on any violation",
+    )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the summary printout")
     run_parser.set_defaults(func=_cmd_run)
     return parser

@@ -8,6 +8,7 @@ entry — no new wiring code.
 
 from __future__ import annotations
 
+from repro.scenarios.contracts import validate_contracts
 from repro.scenarios.spec import (
     DriftPhase,
     FaultEvent,
@@ -21,9 +22,22 @@ _REGISTRY: dict[str, Scenario] = {}
 
 
 def register(scenario: Scenario) -> Scenario:
-    """Add a scenario to the catalog (name must be unique)."""
+    """Add a scenario to the catalog (name must be unique).
+
+    Every catalog entry must certify at least one invariant: a scenario
+    with an empty or misspelled ``contracts`` tuple is rejected here, so
+    ``python -m repro run --check-contracts`` has something to verify for
+    every name ``list`` prints.
+    """
     if scenario.name in _REGISTRY:
         raise ValueError(f"scenario {scenario.name!r} already registered")
+    if not scenario.contracts:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares no contracts; every registered "
+            "scenario must certify at least one invariant "
+            "(see repro.scenarios.contracts)"
+        )
+    validate_contracts(scenario.contracts)
     _REGISTRY[scenario.name] = scenario
     return scenario
 
@@ -67,6 +81,7 @@ register(
             "calibration baseline every other scenario is compared against."
         ),
         exercises=("routing", "solver", "approximate cache"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
         presets={
             "small": Preset(
@@ -87,6 +102,7 @@ register(
             "triggered out-of-band recalibration and queueing headroom."
         ),
         exercises=("backlog recalibration", "load estimation", "tail latency"),
+        contracts=("conservation",),
         trace=TraceSpec(source="shape", name="flash-crowd"),
         presets={
             "small": Preset(
@@ -123,6 +139,7 @@ register(
             "back, exercising sustained re-allocation across load levels."
         ),
         exercises=("re-allocation cadence", "diurnal load", "quality adaptation"),
+        contracts=("conservation",),
         trace=TraceSpec(source="shape", name="diurnal"),
         presets={
             "small": Preset(
@@ -152,6 +169,7 @@ register(
             "and drain back out with hysteresis."
         ),
         exercises=("autoscaler", "saturation signal", "elastic fleet", "cost accounting"),
+        contracts=("conservation", "fleet-budget"),
         trace=TraceSpec(source="shape", name="updown"),
         config={
             "autoscale_enabled": True,
@@ -191,6 +209,7 @@ register(
             "quality for throughput and back."
         ),
         exercises=("failure injection", "requeueing", "degraded re-allocation"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 85.0}),
         faults=(
             FaultEvent(fail_at_minute=15.0, recover_at_minute=35.0, fleet_fraction=0.25),
@@ -221,6 +240,7 @@ register(
             "affinity classifiers on recent traffic."
         ),
         exercises=("classifier drift", "retraining", "prompt distribution shift"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
         drift=(
             DriftPhase(start_minute=0.0, complexity_bias=0.0),
@@ -252,6 +272,7 @@ register(
             "models and probes its way back after recovery."
         ),
         exercises=("strategy switching", "network probes", "retrieval monitoring"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 110.0}),
         config={"retrieval_violations_to_switch": 10},
         network=(
@@ -282,6 +303,7 @@ register(
             "live traffic — the hit rate ramps from zero."
         ),
         exercises=("cache warm-up", "hit-rate ramp", "retrieval path"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="twitter"),
         config={"cache_warm_prompts": 0},
         presets={
@@ -312,6 +334,7 @@ register(
             "them near-identically (Jain index ~1)."
         ),
         exercises=("multi-tenancy", "fair-share admission", "per-tenant accounting"),
+        contracts=("conservation", "fairness:0.95", "cache-quota"),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
         config={
             "tenants": [
@@ -340,6 +363,10 @@ register(
             "tenant's SLO survives the crowd."
         ),
         exercises=("multi-tenancy", "noisy neighbor", "tenant isolation", "token buckets"),
+        # The crowd is deliberately lopsided, so the fairness floor is loose:
+        # the contract certifies the quiet tenant is not starved outright,
+        # not that the storm is served evenly.
+        contracts=("conservation", "fairness:0.5", "cache-quota"),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 60.0}),
         # Full-rate admission: deadline-ordered per-tenant worker queues
         # (weighted DRR + EDF) keep the quiet tenant ahead of crowd spillover
@@ -391,6 +418,7 @@ register(
             "and its quality floor while best-effort absorbs the slack."
         ),
         exercises=("multi-tenancy", "SLO classes", "quality floors", "weighted shares"),
+        contracts=("conservation", "fairness:0.7", "slo-ordering", "cache-quota"),
         trace=TraceSpec(source="library", name="constant", params={"qpm": 230.0}),
         config={
             "tenants": [
@@ -431,6 +459,7 @@ register(
             "switches back in the quiet phases."
         ),
         exercises=("load-driven strategy switch", "hysteresis", "bursty traffic"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="bursty"),
         presets={
             "small": Preset(
@@ -468,6 +497,7 @@ register(
             "classic global autoscaler; `--shards 4` exercises the broker."
         ),
         exercises=("sharded execution", "autoscaler", "budget broker", "elastic fleet"),
+        contracts=("conservation", "fleet-budget", "ledger-matches-fleet"),
         trace=TraceSpec(source="library", name="twitter"),
         config={
             "autoscale_enabled": True,
@@ -509,6 +539,7 @@ register(
             "barrier; sequential runs serve the same workload unstolen."
         ),
         exercises=("sharded execution", "work stealing", "multi-tenancy", "burst absorption"),
+        contracts=("conservation", "cache-quota"),
         trace=TraceSpec(source="library", name="twitter"),
         config={
             "shard_work_stealing": True,
@@ -568,6 +599,7 @@ register(
             "behind the conservative time-window barrier."
         ),
         exercises=("sharded execution", "scale-out", "long traces", "cache locality"),
+        contracts=("conservation",),
         trace=TraceSpec(source="library", name="twitter"),
         # Completed requests are never replayed from an xl run; dropping the
         # per-request objects keeps a 10M-request collector at six numpy
@@ -596,6 +628,258 @@ register(
                     "peak_qpm": 5400.0,
                 },
             ),
+        },
+    )
+)
+
+# --------------------------------------------------------------------- #
+# Chaos family.  Each scenario composes one failure archetype with
+# tenancy and is certified by the contract layer — the safety net that
+# lets the catalog keep growing hostile workloads without bespoke
+# verification code per scenario.
+# --------------------------------------------------------------------- #
+register(
+    Scenario(
+        name="chaos-gray-failure",
+        description=(
+            "Gray failures under tenancy: half the fleet degrades to a "
+            "fraction of its speed mid-run (slow-not-dead, no crash signal) "
+            "and later restores.  Stresses service-time-based control loops "
+            "that only ever saw healthy-or-failed workers."
+        ),
+        exercises=("gray failures", "degraded workers", "multi-tenancy"),
+        contracts=("conservation", "fairness:0.8", "cache-quota"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 90.0}),
+        config={
+            "tenants": [
+                {"name": "alpha", "weight": 2.0, "traffic_share": 0.5},
+                {"name": "beta", "weight": 1.0, "traffic_share": 0.5},
+            ],
+        },
+        faults=(
+            FaultEvent(
+                fail_at_minute=12.0,
+                recover_at_minute=30.0,
+                fleet_fraction=0.5,
+                degrade_factor=0.4,
+            ),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 16, "qpm": 48.0},
+                config=SMALL_FLEET,
+                faults=(
+                    FaultEvent(
+                        fail_at_minute=4.0,
+                        recover_at_minute=11.0,
+                        fleet_fraction=0.5,
+                        degrade_factor=0.4,
+                    ),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 50}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="chaos-correlated-failure",
+        description=(
+            "An AZ-style correlated outage: half the fleet crashes at the "
+            "same instant (no staggering to hide behind) while a surviving "
+            "worker gray-degrades, then everything recovers at once.  The "
+            "requeue cascade and re-allocation absorb a step loss of "
+            "capacity instead of fault-storm's gentle waves."
+        ),
+        exercises=("correlated failures", "simultaneous crash", "multi-tenancy"),
+        contracts=("conservation", "fairness:0.85", "cache-quota"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 80.0}),
+        config={
+            "tenants": [
+                {"name": "alpha", "weight": 1.0, "traffic_share": 0.5},
+                {"name": "beta", "weight": 1.0, "traffic_share": 0.5},
+            ],
+        },
+        faults=(
+            FaultEvent(fail_at_minute=14.0, recover_at_minute=26.0, fleet_fraction=0.5),
+            FaultEvent(
+                fail_at_minute=14.0,
+                recover_at_minute=26.0,
+                worker_id=7,
+                degrade_factor=0.5,
+            ),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={"duration_minutes": 16, "qpm": 40.0},
+                config=SMALL_FLEET,
+                faults=(
+                    FaultEvent(
+                        fail_at_minute=5.0, recover_at_minute=11.0, fleet_fraction=0.5
+                    ),
+                    FaultEvent(
+                        fail_at_minute=5.0,
+                        recover_at_minute=11.0,
+                        worker_id=3,
+                        degrade_factor=0.5,
+                    ),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 50}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="chaos-cache-partition",
+        description=(
+            "A flapping cache-network partition between quota-bounded "
+            "tenants: congestion, a full partition, a brief heal, then a "
+            "second partition.  Retrieval monitoring must abandon the cache "
+            "twice and re-probe its way back without double-counting any "
+            "tenant's quota."
+        ),
+        exercises=("cache partition", "strategy switching", "multi-tenancy", "quotas"),
+        contracts=("conservation", "cache-quota", "fairness:0.9"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 110.0}),
+        config={
+            "retrieval_violations_to_switch": 10,
+            "tenants": [
+                {"name": "alpha", "weight": 1.0, "traffic_share": 0.5, "cache_quota": 400},
+                {"name": "beta", "weight": 1.0, "traffic_share": 0.5, "cache_quota": 200},
+            ],
+        },
+        network=(
+            NetworkWindow(start_minute=10.0, end_minute=16.0, condition="congested"),
+            NetworkWindow(start_minute=16.0, end_minute=24.0, condition="outage"),
+            NetworkWindow(start_minute=28.0, end_minute=34.0, condition="outage"),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 22, "qpm": 55.0},
+                config={**SMALL_FLEET, "retrieval_violations_to_switch": 6},
+                network=(
+                    NetworkWindow(start_minute=5.0, end_minute=8.0, condition="congested"),
+                    NetworkWindow(start_minute=8.0, end_minute=12.0, condition="outage"),
+                    NetworkWindow(start_minute=14.0, end_minute=18.0, condition="outage"),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 45}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="chaos-admission-storm",
+        description=(
+            "A flash crowd lands on top of a noisy tenant's own burst: the "
+            "storm tenant floods admission exactly while global load spikes, "
+            "with gold and standard tenants sharing the fleet.  Full-rate "
+            "admission plus per-tenant worker queues must keep the SLO-class "
+            "ordering intact through the worst minutes."
+        ),
+        exercises=("admission storm", "flash crowd", "noisy tenant", "SLO classes"),
+        contracts=("conservation", "slo-ordering", "cache-quota"),
+        trace=TraceSpec(source="shape", name="flash-crowd"),
+        config={
+            "admission_rate_factor": 1.0,
+            "tenant_priority_queues": True,
+            "tenants": [
+                {
+                    "name": "gold",
+                    "weight": 3.0,
+                    "traffic_share": 0.3,
+                    "slo_class": "gold",
+                },
+                {"name": "standard", "weight": 2.0, "traffic_share": 0.3},
+                {
+                    "name": "storm",
+                    "weight": 1.0,
+                    "traffic_share": 0.4,
+                    "slo_class": "best-effort",
+                    "extra_qpm": [0.0] * 20 + [260.0] * 10 + [0.0] * 30,
+                },
+            ],
+        },
+        presets={
+            "small": Preset(
+                dataset_size=600,
+                trace_params={
+                    "duration_minutes": 18,
+                    "base_qpm": 30.0,
+                    "spike_start_minute": 6,
+                    "spike_minutes": 4,
+                    "spike_multiplier": 2.0,
+                    "decay_minutes": 2,
+                },
+                config={
+                    **SMALL_FLEET,
+                    "tenants": [
+                        {
+                            "name": "gold",
+                            "weight": 3.0,
+                            "traffic_share": 0.3,
+                            "slo_class": "gold",
+                        },
+                        {"name": "standard", "weight": 2.0, "traffic_share": 0.3},
+                        {
+                            "name": "storm",
+                            "weight": 1.0,
+                            "traffic_share": 0.4,
+                            "slo_class": "best-effort",
+                            "extra_qpm": [0.0] * 6 + [110.0] * 4 + [0.0] * 8,
+                        },
+                    ],
+                },
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 60,
+                    "base_qpm": 90.0,
+                    "spike_start_minute": 20,
+                    "spike_minutes": 10,
+                    "spike_multiplier": 2.5,
+                    "decay_minutes": 5,
+                },
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="chaos-eviction-storm",
+        description=(
+            "Cache eviction churn: tenant quotas far below the live prompt "
+            "population keep both namespaces in constant LRU eviction, so "
+            "retrieval quality rides on what survives the churn.  Certifies "
+            "the quota bound holds under maximum eviction pressure."
+        ),
+        exercises=("eviction churn", "cache quotas", "multi-tenancy", "LRU pressure"),
+        contracts=("conservation", "cache-quota", "fairness:0.9"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 100.0}),
+        config={
+            "tenants": [
+                {"name": "alpha", "weight": 1.0, "traffic_share": 0.5, "cache_quota": 80},
+                {"name": "beta", "weight": 1.0, "traffic_share": 0.5, "cache_quota": 40},
+            ],
+        },
+        presets={
+            # The dataset outsizes the quota by >10x so fresh prompts keep
+            # arriving and the stores never stop evicting.
+            "small": Preset(
+                dataset_size=1500,
+                trace_params={"duration_minutes": 14, "qpm": 50.0},
+                config=SMALL_FLEET,
+            ),
+            "full": Preset(dataset_size=5000, trace_params={"duration_minutes": 60}),
         },
     )
 )

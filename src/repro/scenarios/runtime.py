@@ -94,8 +94,6 @@ def build_stream(
     """
     _, drift, _ = scenario.schedule(preset)
     if config.tenants:
-        if len(drift) > 1:
-            raise ValueError("multi-tenant scenarios cannot also define drift phases")
         # One dataset per tenant (distinct generator seeds, so tenants have
         # distinct working sets); tenant 0 keeps the plain runner's dataset
         # seed, which makes the single-default-tenant run bit-identical.
@@ -108,12 +106,34 @@ def build_stream(
             )
             for index, spec in enumerate(config.tenants)
         }
+        # Drift × tenancy: every tenant's mix moves through the same phase
+        # schedule, each drawing from its own per-phase datasets.  Phase 0
+        # keeps the tenant's plain dataset seed (the +1000-per-phase stride
+        # matches the single-tenant PhasedRequestStream derivation), so a
+        # drift-free schedule is bit-identical to the undrifted stream.
+        phases = None
+        if len(drift) > 1:
+            phases = {
+                spec.name: tuple(
+                    (
+                        phase.start_minute * 60.0,
+                        PromptDataset.synthetic(
+                            count=preset.dataset_size,
+                            seed=seed + 1 + _TENANT_SEED_STRIDE * index + 1000 * phase_index,
+                            complexity_bias=phase.complexity_bias,
+                        ),
+                    )
+                    for phase_index, phase in enumerate(drift)
+                )
+                for index, spec in enumerate(config.tenants)
+            }
         return MultiTenantRequestStream(
             trace=trace,
             tenants=config.tenants,
             datasets=datasets,
             seed=seed + 2,
             arrival_kind=scenario.arrival_kind,
+            phases=phases,
         )
     if len(drift) <= 1:
         bias = drift[0].complexity_bias if drift else 0.0
@@ -151,9 +171,17 @@ def _apply_schedules(system: BaseServingSystem, scenario: Scenario, preset: Pres
             recover_at = (
                 None if event.recover_at_minute is None else event.recover_at_minute * 60.0
             )
-            system.cluster.schedule_failure(
-                worker_id, fail_at_s=event.fail_at_minute * 60.0, recover_at_s=recover_at
-            )
+            if event.degrade_factor is not None:
+                system.cluster.schedule_degradation(
+                    worker_id,
+                    event.degrade_factor,
+                    degrade_at_s=event.fail_at_minute * 60.0,
+                    restore_at_s=recover_at,
+                )
+            else:
+                system.cluster.schedule_failure(
+                    worker_id, fail_at_s=event.fail_at_minute * 60.0, recover_at_s=recover_at
+                )
     for window in network:
         system.network.schedule_condition(
             window.start_minute * 60.0,
@@ -168,13 +196,36 @@ def _collect_extras(system: BaseServingSystem, result: ExperimentResult) -> dict
         "cache_hit_rate": result.extras.get("cache_hit_rate"),
         "total_requests": result.extras.get("total_requests"),
     }
+    # Conservation inputs (contracts): requests still in flight at the end
+    # of the run, split by where they are parked.  Worker queues include
+    # draining/failed workers' outstanding work, not just the healthy set.
+    admission = getattr(system, "admission", None)
+    extras["outstanding"] = {
+        "worker_queues": sum(w.outstanding for w in system.cluster.workers),
+        "admission_backlog": admission.backlog() if admission is not None else 0,
+    }
     if system.cache is not None:
         extras["retrieval_hit_rate"] = system.cache.retrieval_hit_rate
         extras["retrieval_attempts"] = system.cache.retrieval_attempts
+        if system.config.tenants:
+            extras["cache_tenants"] = {
+                spec.name: {
+                    "entries": system.cache.tenant_entries(spec.name),
+                    "quota": spec.cache_quota,
+                }
+                for spec in system.config.tenants
+            }
     if hasattr(system, "num_strategy_switches"):
         extras["strategy_switches"] = system.num_strategy_switches()
     if hasattr(system, "retraining_events"):
         extras["retraining_events"] = system.retraining_events
+    if hasattr(system, "drift_events"):
+        extras["drift_events"] = system.drift_events()
+    if system.config.autoscale_enabled:
+        extras["fleet_budget"] = {
+            "min_workers": system.config.effective_min_workers,
+            "max_workers": system.config.effective_max_workers,
+        }
     if system.config.tenants:
         extras["fair_share_index"] = result.summary.fair_share_index
         admission = getattr(system, "admission", None)

@@ -73,22 +73,32 @@ class TraceSpec:
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled worker failure (and optional recovery).
+    """One scheduled worker fault (and optional recovery).
 
-    Either ``worker_id`` names one worker, or ``fleet_fraction`` fails that
+    Either ``worker_id`` names one worker, or ``fleet_fraction`` targets that
     fraction of the initial fleet (lowest worker ids, rounded to nearest).
+
+    By default the fault is a crash: the worker fails hard and its in-flight
+    work is re-routed.  With ``degrade_factor`` set, it is a *gray* failure
+    instead — the worker stays in rotation but runs at ``degrade_factor`` of
+    its normal speed (slow-not-dead) until ``recover_at_minute`` restores it.
     """
 
     fail_at_minute: float
     recover_at_minute: float | None = None
     worker_id: int | None = None
     fleet_fraction: float | None = None
+    #: Gray failure: multiply the worker's speed by this instead of failing
+    #: it.  Must be in (0, 1); ``None`` keeps the hard-crash behaviour.
+    degrade_factor: float | None = None
 
     def __post_init__(self) -> None:
         if (self.worker_id is None) == (self.fleet_fraction is None):
             raise ValueError("specify exactly one of worker_id or fleet_fraction")
         if self.fleet_fraction is not None and not 0.0 < self.fleet_fraction <= 1.0:
             raise ValueError("fleet_fraction must be in (0, 1]")
+        if self.degrade_factor is not None and not 0.0 < self.degrade_factor < 1.0:
+            raise ValueError("degrade_factor must be in (0, 1)")
         if self.fail_at_minute < 0:
             raise ValueError("fail_at_minute must be non-negative")
         if self.recover_at_minute is not None and self.recover_at_minute <= self.fail_at_minute:
@@ -190,6 +200,9 @@ class Scenario:
     network: tuple[NetworkWindow, ...] = ()
     presets: dict[str, Preset] = field(default_factory=dict)
     default_seed: int = 0
+    #: Invariant contracts verified against this scenario's report (names
+    #: from :mod:`repro.scenarios.contracts`, optionally ``"name:param"``).
+    contracts: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -197,6 +210,7 @@ class Scenario:
         if self.arrival_kind not in ("poisson", "uniform"):
             raise ValueError(f"unknown arrival kind {self.arrival_kind!r}")
         object.__setattr__(self, "exercises", tuple(self.exercises))
+        object.__setattr__(self, "contracts", tuple(self.contracts))
         object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(self, "drift", tuple(self.drift))
         object.__setattr__(self, "network", tuple(self.network))
@@ -230,6 +244,7 @@ class Scenario:
         payload = asdict(self)
         payload["trace"]["qpm"] = list(self.trace.qpm)
         payload["exercises"] = list(self.exercises)
+        payload["contracts"] = list(self.contracts)
         payload["faults"] = [asdict(e) for e in self.faults]
         payload["drift"] = [asdict(p) for p in self.drift]
         payload["network"] = [asdict(w) for w in self.network]
@@ -248,6 +263,7 @@ class Scenario:
         data = dict(payload)
         data["trace"] = TraceSpec(**dict(data["trace"], qpm=tuple(data["trace"].get("qpm", ()))))
         data["exercises"] = tuple(data.get("exercises", ()))
+        data["contracts"] = tuple(data.get("contracts", ()))
         data["faults"] = tuple(FaultEvent(**e) for e in data.get("faults", ()))
         data["drift"] = tuple(DriftPhase(**p) for p in data.get("drift", ()))
         data["network"] = tuple(NetworkWindow(**w) for w in data.get("network", ()))

@@ -141,6 +141,9 @@ class FleetDelta(Message):
     model_loads: int
     #: Workers provisioned but not yet in rotation at the barrier.
     provisioning_workers: int = 0
+    #: Workers in the FAILED state at the barrier (still owned by the shard
+    #: — they may recover — so the broker ledger keeps counting them).
+    failed_workers: int = 0
 
 
 @_register
@@ -230,6 +233,10 @@ class BarrierReached(Message):
     admission_backlog: int = 0
     #: Requests waiting in worker queues (in-flight batches excluded).
     worker_backlog: int = 0
+    #: Scale-in grants the shard skipped at apply time since the last
+    #: barrier (drain candidate failed meanwhile); the coordinator adds the
+    #: count back to the broker's committed ledger.
+    unapplied_scale_ins: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scale_requests", tuple(self.scale_requests))

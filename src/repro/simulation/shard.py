@@ -301,12 +301,20 @@ def _build_shard_system(payload: dict):
             window.end_minute * 60.0,
             NetworkCondition(window.condition),
         )
-    for local_id, fail_at_s, recover_at_s in payload.get("faults") or ():
-        serving.cluster.schedule_failure(
-            int(local_id),
-            fail_at_s=float(fail_at_s),
-            recover_at_s=None if recover_at_s is None else float(recover_at_s),
-        )
+    for local_id, fail_at_s, recover_at_s, degrade_factor in payload.get("faults") or ():
+        if degrade_factor is not None:
+            serving.cluster.schedule_degradation(
+                int(local_id),
+                float(degrade_factor),
+                degrade_at_s=float(fail_at_s),
+                restore_at_s=None if recover_at_s is None else float(recover_at_s),
+            )
+        else:
+            serving.cluster.schedule_failure(
+                int(local_id),
+                fail_at_s=float(fail_at_s),
+                recover_at_s=None if recover_at_s is None else float(recover_at_s),
+            )
 
     arrivals = payload.get("arrivals")
     if arrivals is None:
@@ -505,8 +513,14 @@ def _shard_main(payload: dict, conn) -> None:
                     "loads": cluster.total_model_loads(),
                 }
                 scale_requests = ()
-                if message.epoch_boundary and autoscaler is not None:
-                    scale_requests = autoscaler.take_requests()
+                unapplied_scale_ins = 0
+                if autoscaler is not None:
+                    if message.epoch_boundary:
+                        scale_requests = autoscaler.take_requests()
+                    # Shipped every barrier (not just epochs) so the broker
+                    # ledger reconciles at the first opportunity after a
+                    # skipped drain.
+                    unapplied_scale_ins = autoscaler.take_unapplied_scale_ins()
                 reply = messages.BarrierReached(
                     shard_id=spec.shard_id,
                     window_end_s=message.window_end_s,
@@ -526,12 +540,14 @@ def _shard_main(payload: dict, conn) -> None:
                         workers_retired=cluster.workers_retired,
                         model_loads=now["loads"] - last["loads"],
                         provisioning_workers=len(cluster.provisioning_workers),
+                        failed_workers=sum(1 for w in cluster.workers if w.is_failed),
                     ),
                     scale_requests=scale_requests,
                     admission_backlog=(
                         serving.admission.backlog() if serving.admission is not None else 0
                     ),
                     worker_backlog=cluster.total_queued_requests(),
+                    unapplied_scale_ins=unapplied_scale_ins,
                 )
                 last = now
                 conn.send(reply.encode())
@@ -583,6 +599,7 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
     duration_s = trace.duration_minutes * 60.0
     cluster = serving.cluster
     fleet_peak, fleet_mean = cluster.fleet_stats(duration_s)
+    admission = getattr(serving, "admission", None)
     extras: dict = {
         "arrivals": serving.collector.total_arrivals,
         "strategy_switches": (
@@ -591,6 +608,11 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
             else None
         ),
         "retraining_events": getattr(serving, "retraining_events", None),
+        # Conservation inputs for the contract layer: every worker's
+        # outstanding work (draining/failed included — total_queue_length()
+        # counts only healthy workers) plus the shard's admission backlog.
+        "outstanding_workers": sum(w.outstanding for w in cluster.workers),
+        "admission_backlog": admission.backlog() if admission is not None else 0,
     }
     autoscaler = getattr(serving, "autoscaler", None)
     if autoscaler is not None:
@@ -782,7 +804,10 @@ def _map_faults(faults, plan: ShardPlan, num_workers: int) -> dict[int, list]:
     *global* worker ids — exactly the set the sequential run faults.
     Global ids map onto shards in shard order (shard s owns the contiguous
     id block after the earlier partitions), so the per-shard fault lists
-    and times are a deterministic function of the plan alone.
+    and times are a deterministic function of the plan alone.  Each entry
+    is ``(local_id, fail_at_s, recover_at_s, degrade_factor)`` — the last
+    element is ``None`` for hard crashes and the gray-failure speed factor
+    otherwise.
     """
     starts: dict[int, int] = {}
     offset = 0
@@ -799,7 +824,12 @@ def _map_faults(faults, plan: ShardPlan, num_workers: int) -> dict[int, list]:
                 start = starts[spec.shard_id]
                 if start <= worker_id < start + spec.num_workers:
                     per_shard[spec.shard_id].append(
-                        (worker_id - start, event.fail_at_minute * 60.0, recover_s)
+                        (
+                            worker_id - start,
+                            event.fail_at_minute * 60.0,
+                            recover_s,
+                            event.degrade_factor,
+                        )
                     )
                     break
     return per_shard
@@ -1012,15 +1042,24 @@ def run_scenario_sharded(
             replies = [messages.decode(conn.recv()) for conn in conns]
             entry = {
                 "window_end_s": end,
+                "epoch": bool(epoch),
                 "completions": sum(r.metrics.completions for r in replies),
                 "arrivals": sum(r.metrics.arrivals for r in replies),
                 "active_workers": sum(r.fleet.active_workers for r in replies),
+                "failed_workers": sum(r.fleet.failed_workers for r in replies),
                 "in_fleet": sum(
                     r.fleet.active_workers + r.fleet.provisioning_workers
                     for r in replies
                 ),
             }
             if broker is not None:
+                # Reconcile before granting: a scale-in grant the shard could
+                # not apply (candidate failed meanwhile) left the ledger one
+                # worker low per skip; the worker it would have drained is
+                # still in the fleet, so hand the budget back.
+                for reply in replies:
+                    if reply.unapplied_scale_ins:
+                        broker.committed[reply.shard_id] += reply.unapplied_scale_ins
                 if epoch:
                     outcome_map = broker.grant(end, replies)
                     for spec, conn in zip(plan.shards, conns):
@@ -1141,6 +1180,12 @@ def run_scenario_sharded(
     extras: dict = {
         "cache_hit_rate": cache_hit_rate,
         "total_requests": merged.total_arrivals,
+        # Same shape as the sequential runtime's conservation extras, so the
+        # contract layer verifies sharded reports with the same checks.
+        "outstanding": {
+            "worker_queues": sum(r.extras.get("outstanding_workers", 0) for r in results),
+            "admission_backlog": sum(r.extras.get("admission_backlog", 0) for r in results),
+        },
     }
     if has_cache:
         extras["retrieval_hit_rate"] = _ratio(retrieval_hits, retrieval_attempts)
@@ -1189,6 +1234,10 @@ def run_scenario_sharded(
         "barriers": barrier_log,
     }
     if broker is not None:
+        extras["fleet_budget"] = {
+            "min_workers": broker.min_workers,
+            "max_workers": broker.max_workers,
+        }
         extras["sharding"]["autoscale"] = {
             "epoch_s": config.autoscale_epoch_s,
             "min_workers": broker.min_workers,

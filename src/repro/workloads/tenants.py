@@ -19,7 +19,7 @@ pure extension of the single-tenant system.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, replace
 
 from repro.metrics.slo import SLO_CLASSES, SloPolicy
@@ -171,6 +171,12 @@ class MultiTenantRequestStream(RequestStream):
     tenant name.  The merged stream is ordered by (arrival time, tenant
     index, per-tenant sequence), so identical seeds always produce an
     identical interleave.
+
+    ``phases`` optionally gives a tenant a drifting prompt mix: a sequence
+    of ``(start_s, dataset)`` pairs (first at 0.0, strictly increasing
+    starts) replaces that tenant's single dataset, with per-phase cursors
+    exactly like :class:`~repro.workloads.replay.PhasedRequestStream`.
+    Arrival timestamps are untouched — drift perturbs only the prompt mix.
     """
 
     def __init__(
@@ -180,6 +186,7 @@ class MultiTenantRequestStream(RequestStream):
         datasets: dict[str, PromptDataset],
         seed: int = 0,
         arrival_kind: str = "poisson",
+        phases: dict[str, Sequence[tuple[float, PromptDataset]]] | None = None,
     ) -> None:
         tenants = validate_tenants(tuple(tenants))
         if not tenants:
@@ -211,13 +218,33 @@ class MultiTenantRequestStream(RequestStream):
         # Per-tenant prompts are tagged once here, not per arrival: the
         # Prompt content-hash memo is per-object, so reusing tagged objects
         # across dataset cycles keeps embedding lookups memoised.
-        self._tagged_prompts: dict[str, list[Prompt]] = {
-            spec.name: [
-                prompt if prompt.tenant == spec.name else replace(prompt, tenant=spec.name)
-                for prompt in datasets[spec.name].prompts
+        def tag(name: str, dataset: PromptDataset) -> list[Prompt]:
+            return [
+                prompt if prompt.tenant == name else replace(prompt, tenant=name)
+                for prompt in dataset.prompts
             ]
-            for spec in tenants
+
+        self._tagged_prompts: dict[str, list[Prompt]] = {
+            spec.name: tag(spec.name, datasets[spec.name]) for spec in tenants
         }
+        #: Tenants with a drifting mix: name -> [(start_s, tagged prompts)].
+        self._tagged_phases: dict[str, list[tuple[float, list[Prompt]]]] = {}
+        for name, tenant_phases in (phases or {}).items():
+            if name not in self.datasets:
+                raise ValueError(f"phases given for unknown tenant {name!r}")
+            starts = [float(start) for start, _ in tenant_phases]
+            if not starts or starts[0] != 0.0:
+                raise ValueError(f"tenant {name!r}: first phase must start at 0.0")
+            if starts != sorted(starts) or len(set(starts)) != len(starts):
+                raise ValueError(
+                    f"tenant {name!r}: phase start times must be strictly increasing"
+                )
+            for _, dataset in tenant_phases:
+                if len(dataset) == 0:
+                    raise ValueError(f"tenant {name!r}: phase datasets must not be empty")
+            self._tagged_phases[name] = [
+                (float(start), tag(name, dataset)) for start, dataset in tenant_phases
+            ]
 
     def _tenant_seed(self, index: int) -> int:
         """Arrival seed for tenant ``index`` (tenant 0 keeps the stream seed,
@@ -226,12 +253,24 @@ class MultiTenantRequestStream(RequestStream):
 
     def _iter_tenant(self, index: int) -> Iterator[tuple[float, int, int, Prompt]]:
         spec = self.tenants[index]
-        prompts = self._tagged_prompts[spec.name]
-        dataset_size = len(prompts)
         process = ArrivalProcess(seed=self._tenant_seed(index))
         trace = self.tenant_traces[spec.name]
-        for sequence, arrival in enumerate(process.iter_arrivals(trace, self.arrival_kind)):
-            yield (float(arrival), index, sequence, prompts[sequence % dataset_size])
+        arrivals = process.iter_arrivals(trace, self.arrival_kind)
+        phases = self._tagged_phases.get(spec.name)
+        if phases is None:
+            prompts = self._tagged_prompts[spec.name]
+            dataset_size = len(prompts)
+            for sequence, arrival in enumerate(arrivals):
+                yield (float(arrival), index, sequence, prompts[sequence % dataset_size])
+            return
+        cursors = [0] * len(phases)
+        active = 0
+        for sequence, arrival in enumerate(arrivals):
+            while active + 1 < len(phases) and arrival >= phases[active + 1][0]:
+                active += 1
+            prompts = phases[active][1]
+            yield (float(arrival), index, sequence, prompts[cursors[active] % len(prompts)])
+            cursors[active] += 1
 
     def _iter_lazy(self) -> Iterator[TimedPrompt]:
         streams = [self._iter_tenant(index) for index in range(len(self.tenants))]

@@ -19,10 +19,19 @@ from repro.scenarios import (
     TraceSpec,
     get_scenario,
     list_scenarios,
+    register,
     run_scenario,
     scenario_names,
+    verify_report,
+    violations,
 )
 from repro.scenarios.cli import main as cli_main
+from repro.scenarios.contracts import (
+    check_load_fleet_scaling,
+    check_weight_scaling_noop,
+    contract_names,
+    parse_contract,
+)
 from repro.workloads.replay import PhasedRequestStream
 from repro.workloads.shapes import SHAPES, build_shape
 from repro.workloads.traces import TraceLibrary
@@ -252,7 +261,33 @@ SCENARIO_CHECKS = {
     "tenant-fair-share": lambda run: _fair_share_ok(run),
     "tenant-noisy-neighbor": lambda run: _noisy_neighbor_ok(run),
     "tenant-tiered-slo": lambda run: _tiered_slo_ok(run),
+    # Chaos family: each check pins the *injected* failure actually biting
+    # (the contracts certify the invariants that must survive it).
+    "chaos-gray-failure": lambda run: run.system.cluster.workers_degraded >= 2
+    and _min_fleet(run) == run.config.num_workers,  # slow, not gone
+    "chaos-correlated-failure": lambda run: _min_fleet(run)
+    <= run.config.num_workers / 2
+    and run.system.cluster.workers_degraded >= 1,
+    "chaos-cache-partition": lambda run: run.extras["strategy_switches"] >= 2
+    and run.extras["cache_tenants"]["beta"]["entries"]
+    == run.extras["cache_tenants"]["beta"]["quota"],
+    "chaos-admission-storm": lambda run: _admission_storm_ok(run),
+    "chaos-eviction-storm": lambda run: all(
+        row["entries"] == row["quota"]
+        for row in run.extras["cache_tenants"].values()
+    ),
 }
+
+
+def _admission_storm_ok(run):
+    """The flash crowd piles up behind the storm tenant's share alone."""
+    storm = run.summary.tenant("storm")
+    gold = run.summary.tenant("gold")
+    return (
+        storm.admission_delayed > 500
+        and storm.slo_violation_ratio > 0.3
+        and gold.slo_violation_ratio < 0.05
+    )
 
 
 def _fair_share_ok(run):
@@ -309,6 +344,10 @@ class TestRunScenarios:
         check = SCENARIO_CHECKS.get(name)
         if check is not None:
             assert check(run), f"behavioural check failed for {name}"
+        # Every registered scenario certifies: its declared contracts must
+        # verify straight from the report it just produced.
+        failed = violations(verify_report(report, get_scenario(name).contracts))
+        assert not failed, f"contract violations for {name}: {[str(r) for r in failed]}"
 
     def test_system_override(self):
         run = run_scenario("steady-baseline", preset="small", seed=0, system="clipper-ht")
@@ -356,6 +395,269 @@ class TestDeterminism:
         second = run_scenario("drift-recalibration", preset="small", seed=3)
         assert first.summary == second.summary
         assert first.report().to_json() == second.report().to_json()
+
+
+# --------------------------------------------------------------------- #
+# Contracts: the certification layer
+# --------------------------------------------------------------------- #
+def _contract_report(summary=None, extras=None, minutes=()):
+    """A minimal report dict in the exact ScenarioReport JSON shape."""
+    payload = {
+        "summary": {
+            "total_arrivals": 100,
+            "total_completions": 90,
+            "dropped_requests": 6,
+            "fleet_peak_workers": 4,
+        },
+        "extras": dict(extras or {}),
+        "minutes": list(minutes),
+    }
+    payload["summary"].update(summary or {})
+    return payload
+
+
+def _one(report, contract):
+    (result,) = verify_report(report, (contract,))
+    return result
+
+
+class TestContracts:
+    def test_vocabulary(self):
+        assert contract_names() == [
+            "cache-quota",
+            "conservation",
+            "fairness",
+            "fleet-budget",
+            "ledger-matches-fleet",
+            "slo-ordering",
+        ]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nope",
+            "conservation:1",  # takes no parameter
+            "fairness:high",  # not a number
+            "fairness:0",  # bound must be in (0, 1]
+            "fairness:1.5",
+            "slo-ordering:-0.1",  # tolerance must be non-negative
+        ],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_contract(bad)
+
+    def test_parse_accepts_parameters(self):
+        assert parse_contract("fairness") == ("fairness", None)
+        assert parse_contract("fairness:0.9") == ("fairness", 0.9)
+        assert parse_contract("slo-ordering:0") == ("slo-ordering", 0.0)
+
+    def test_conservation(self):
+        balanced = {"outstanding": {"worker_queues": 3, "admission_backlog": 1}}
+        assert _one(_contract_report(extras=balanced), "conservation").passed
+        leaky = {"outstanding": {"worker_queues": 0, "admission_backlog": 0}}
+        result = _one(_contract_report(extras=leaky), "conservation")
+        assert not result.passed and "leaked" in result.detail
+
+    def test_conservation_vacuous_without_accounting(self):
+        result = _one(_contract_report(), "conservation")
+        assert result.passed and result.vacuous
+
+    def test_fairness_bound(self):
+        report = _contract_report(summary={"fair_share_index": 0.85})
+        assert _one(report, "fairness").passed  # default bound 0.8
+        assert not _one(report, "fairness:0.9").passed
+        vacuous = _one(_contract_report(), "fairness")
+        assert vacuous.passed and vacuous.vacuous
+
+    def test_slo_ordering(self):
+        def tenants(gold, standard):
+            return {
+                "tenants": [
+                    {"slo_class": "gold", "slo_violation_ratio": gold},
+                    {"slo_class": "standard", "slo_violation_ratio": standard},
+                ]
+            }
+
+        # A small inversion sits inside the default 0.02 slack (a tighter
+        # class graded against a tighter budget can invert by noise)…
+        assert _one(_contract_report(summary=tenants(0.01, 0.0)), "slo-ordering").passed
+        # …a real inversion does not, and a zero tolerance allows none.
+        assert not _one(
+            _contract_report(summary=tenants(0.5, 0.1)), "slo-ordering"
+        ).passed
+        assert not _one(
+            _contract_report(summary=tenants(0.01, 0.0)), "slo-ordering:0"
+        ).passed
+        single = _contract_report(
+            summary={"tenants": [{"slo_class": "gold", "slo_violation_ratio": 0.0}]}
+        )
+        assert _one(single, "slo-ordering").vacuous
+
+    def test_cache_quota(self):
+        within = {"cache_tenants": {"a": {"entries": 10, "quota": 10}}}
+        assert _one(_contract_report(extras=within), "cache-quota").passed
+        over = {"cache_tenants": {"a": {"entries": 11, "quota": 10}}}
+        assert not _one(_contract_report(extras=over), "cache-quota").passed
+        unbounded = {"cache_tenants": {"a": {"entries": 999, "quota": None}}}
+        assert _one(_contract_report(extras=unbounded), "cache-quota").passed
+        assert _one(_contract_report(), "cache-quota").vacuous
+
+    def test_fleet_budget(self):
+        budget = {"fleet_budget": {"min_workers": 2, "max_workers": 4}}
+        ok = _contract_report(extras=budget, minutes=[{"minute": 0, "fleet_workers": 4.0}])
+        assert _one(ok, "fleet-budget").passed
+        over_peak = _contract_report(summary={"fleet_peak_workers": 5}, extras=budget)
+        assert not _one(over_peak, "fleet-budget").passed
+        over_minute = _contract_report(
+            extras=budget, minutes=[{"minute": 3, "fleet_workers": 5.0}]
+        )
+        assert not _one(over_minute, "fleet-budget").passed
+        under_min = _contract_report(
+            extras={
+                **budget,
+                "autoscale_events": [
+                    {"action": "scale_in", "fleet_size": 1, "time_s": 60.0}
+                ],
+            }
+        )
+        assert not _one(under_min, "fleet-budget").passed
+        assert _one(_contract_report(), "fleet-budget").vacuous
+
+    def test_fleet_budget_sharded_peak_exemption(self):
+        # A sharded merge sums per-shard peaks that need not be simultaneous,
+        # so only the sequential peak is held to the global max.
+        extras = {
+            "sharding": {"autoscale": {"min_workers": 2, "max_workers": 4}},
+        }
+        report = _contract_report(summary={"fleet_peak_workers": 6}, extras=extras)
+        assert _one(report, "fleet-budget").passed
+
+    def test_ledger_matches_fleet(self):
+        def barriers(*entries):
+            return {
+                "sharding": {
+                    "autoscale": {"min_workers": 2, "max_workers": 6},
+                    "barriers": list(entries),
+                }
+            }
+
+        good = barriers(
+            {"window_end_s": 60.0, "epoch": False, "committed_workers": 4,
+             "in_fleet": 3, "failed_workers": 1},
+            # Epoch barriers record post-grant ledgers against pre-apply
+            # fleets — only the budget bounds apply there.
+            {"window_end_s": 120.0, "epoch": True, "committed_workers": 6,
+             "in_fleet": 3, "failed_workers": 1},
+        )
+        assert _one(_contract_report(extras=good), "ledger-matches-fleet").passed
+        drifted = barriers(
+            {"window_end_s": 60.0, "epoch": False, "committed_workers": 5,
+             "in_fleet": 3, "failed_workers": 1},
+        )
+        result = _one(_contract_report(extras=drifted), "ledger-matches-fleet")
+        assert not result.passed and "live fleet" in result.detail
+        out_of_budget = barriers(
+            {"window_end_s": 60.0, "epoch": True, "committed_workers": 7,
+             "in_fleet": 7, "failed_workers": 0},
+        )
+        assert not _one(_contract_report(extras=out_of_budget), "ledger-matches-fleet").passed
+        assert _one(_contract_report(), "ledger-matches-fleet").vacuous
+
+    def test_verify_report_accepts_report_objects(self):
+        class Boxed:
+            def to_dict(self):
+                return _contract_report(summary={"fair_share_index": 0.99})
+
+        (result,) = verify_report(Boxed(), ("fairness",))
+        assert result.passed and not result.vacuous
+
+    def test_every_scenario_declares_contracts(self):
+        for scenario in list_scenarios():
+            assert scenario.contracts, f"{scenario.name} declares no contracts"
+
+    def test_registry_rejects_uncertified_scenarios(self):
+        def scenario(contracts):
+            return Scenario(
+                name="uncertified",
+                description="d",
+                trace=TraceSpec(source="library", name="constant"),
+                contracts=contracts,
+                presets={"small": Preset(), "full": Preset()},
+            )
+
+        with pytest.raises(ValueError, match="declares no contracts"):
+            register(scenario(()))
+        with pytest.raises(ValueError, match="unknown contract"):
+            register(scenario(("conservaton",)))
+        assert "uncertified" not in scenario_names()  # rejected before insert
+
+
+# --------------------------------------------------------------------- #
+# Metamorphic contracts: relations between pairs of runs
+# --------------------------------------------------------------------- #
+class TestMetamorphic:
+    def test_weight_doubling_is_a_noop_for_admission(self):
+        result = check_weight_scaling_noop("tenant-fair-share", preset="small", seed=0)
+        assert result.passed and not result.vacuous, result.detail
+
+    def test_weight_doubling_is_a_noop_for_priority_queues(self):
+        # tenant-tiered-slo runs the DRR priority queues with 3:2:1 weights;
+        # doubling them must not change the interleaving (the DRR quantum is
+        # the weight *ratio*, not the raw weight).
+        result = check_weight_scaling_noop("tenant-tiered-slo", preset="small", seed=0)
+        assert result.passed and not result.vacuous, result.detail
+
+    def test_weight_scaling_vacuous_without_tenants(self):
+        result = check_weight_scaling_noop("steady-baseline", preset="small", seed=0)
+        assert result.passed and result.vacuous
+
+    def test_load_and_fleet_scale_together(self):
+        # flash-crowd has a real violation spike, so this checks the ratio
+        # is preserved under stress, not just that zero stays zero.
+        result = check_load_fleet_scaling("flash-crowd", preset="small", seed=0)
+        assert result.passed, result.detail
+
+
+# --------------------------------------------------------------------- #
+# Tenancy composed with drift (per-tenant detector state)
+# --------------------------------------------------------------------- #
+class TestTenantDrift:
+    def test_tenants_and_drift_compose(self):
+        # Two equal tenants, a mid-run shift to harder prompts: each
+        # tenant's *own* detector must notice and trigger a retrain.
+        # (This composition used to be rejected outright.)
+        scenario = Scenario(
+            name="tenants-with-drift",
+            description="tenancy composed with classifier drift",
+            trace=TraceSpec(
+                source="library",
+                name="constant",
+                params={"duration_minutes": 30, "qpm": 120.0},
+            ),
+            config={
+                "num_workers": 4,
+                "classifier_training_prompts": 400,
+                "profiling_prompts": 200,
+                "classifier_epochs": 8,
+                "tenants": [
+                    {"name": "alpha", "weight": 1.0, "traffic_share": 0.5},
+                    {"name": "beta", "weight": 1.0, "traffic_share": 0.5},
+                ],
+            },
+            drift=(
+                DriftPhase(start_minute=0.0, complexity_bias=0.0),
+                DriftPhase(start_minute=15.0, complexity_bias=0.55),
+            ),
+            contracts=("conservation", "fairness:0.9"),
+            presets={"small": Preset(dataset_size=1200), "full": Preset(dataset_size=4000)},
+        )
+        run = run_scenario(scenario, preset="small", seed=0)
+        events = run.extras["drift_events"]
+        assert set(events) == {"alpha", "beta"}
+        assert all(count >= 1 for count in events.values())
+        assert run.extras["retraining_events"] >= 2
+        assert not violations(verify_report(run.report(), scenario.contracts))
 
 
 # --------------------------------------------------------------------- #
@@ -408,6 +710,44 @@ class TestCli:
         assert payload["preset"] == "small"
         assert payload["summary"]["total_completions"] > 0
         assert len(payload["minutes"]) > 0
+
+    def test_run_check_contracts(self, capsys):
+        code = cli_main(
+            [
+                "run",
+                "--scenario",
+                "steady-baseline",
+                "--preset",
+                "small",
+                "--seed",
+                "0",
+                "--check-contracts",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contracts (steady-baseline):" in out
+        assert "conservation ok" in out
+
+    def test_run_check_contracts_quiet_on_pass(self, capsys):
+        # --quiet suppresses passing contract output; violations would still
+        # print (to stderr) and flip the exit code — that is the CI mode.
+        code = cli_main(
+            [
+                "run",
+                "--scenario",
+                "steady-baseline",
+                "--preset",
+                "small",
+                "--seed",
+                "0",
+                "--check-contracts",
+                "--quiet",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == "" and captured.err == ""
 
 
 # --------------------------------------------------------------------- #

@@ -544,12 +544,13 @@ class TestShardedFaults:
         reconstructed = sorted(
             starts[shard_id] + local_id
             for shard_id, entries in mapped.items()
-            for local_id, _fail, _recover in entries
+            for local_id, _fail, _recover, _degrade in entries
         )
         assert reconstructed == sorted(event.worker_ids(config.num_workers))
         for entries in mapped.values():
-            for _local, fail_s, recover_s in entries:
+            for _local, fail_s, recover_s, degrade in entries:
                 assert fail_s == 60.0 and recover_s == 180.0
+                assert degrade is None  # hard crash, not a gray failure
 
     def test_fleet_fraction_faults_run_deterministically(self):
         scenario = _scenario(
@@ -566,6 +567,69 @@ class TestShardedFaults:
         # the fault window visibly degrades service relative to no faults
         assert first.summary.total_arrivals == baseline.summary.total_arrivals
         assert _digest(first) != _digest(baseline)
+
+    def test_map_faults_leaves_unfaulted_shards_empty(self):
+        # A 10% fraction of 8 workers faults exactly worker 0: the shards
+        # owning the later id blocks must get an entry list, but an empty
+        # one — never a spurious local fault.
+        scenario = _scenario()
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 3})
+        plan = plan_shards(config)
+        event = FaultEvent(fail_at_minute=1.0, fleet_fraction=0.1)
+        mapped = _map_faults((event,), plan, config.num_workers)
+        assert set(mapped) == {spec.shard_id for spec in plan.shards}
+        first = plan.shards[0].shard_id
+        assert [local for local, *_ in mapped[first]] == [0]
+        assert all(not mapped[spec.shard_id] for spec in plan.shards[1:])
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.33, 0.5, 0.75, 1.0])
+    @pytest.mark.parametrize("num_workers,shards", [(7, 3), (8, 3), (9, 4)])
+    def test_map_faults_rounding_parity_with_sequential(
+        self, fraction, num_workers, shards
+    ):
+        # Whatever round(frac x fleet) resolves to — including uneven worker
+        # splits where shard blocks differ in size — the union of shard-local
+        # faults must be exactly the sequential run's faulted id set.
+        scenario = _scenario(num_workers=num_workers)
+        config = build_config(
+            scenario, scenario.preset("full"), 0, extra={"shards": shards}
+        )
+        plan = plan_shards(config)
+        event = FaultEvent(fail_at_minute=1.0, fleet_fraction=fraction)
+        mapped = _map_faults((event,), plan, config.num_workers)
+        starts, offset = {}, 0
+        for spec in plan.shards:
+            starts[spec.shard_id] = offset
+            offset += spec.num_workers
+        reconstructed = sorted(
+            starts[shard_id] + local_id
+            for shard_id, entries in mapped.items()
+            for local_id, *_ in entries
+        )
+        assert reconstructed == sorted(event.worker_ids(num_workers))
+
+    def test_map_faults_carries_the_degrade_factor(self):
+        scenario = _scenario()
+        config = build_config(scenario, scenario.preset("full"), 0, extra={"shards": 2})
+        plan = plan_shards(config)
+        event = FaultEvent(
+            fail_at_minute=1.0, recover_at_minute=2.0, fleet_fraction=0.5,
+            degrade_factor=0.4,
+        )
+        mapped = _map_faults((event,), plan, config.num_workers)
+        factors = [
+            degrade
+            for entries in mapped.values()
+            for _local, _fail, _recover, degrade in entries
+        ]
+        assert factors and all(factor == 0.4 for factor in factors)
+
+    def test_worker_id_faults_are_rejected_with_guidance(self):
+        scenario = _scenario(
+            faults=(FaultEvent(fail_at_minute=1.0, worker_id=3),)
+        )
+        with pytest.raises(ValueError, match="worker faults by worker_id"):
+            run_scenario_sharded(scenario, preset="full", seed=0, shards=2)
 
 
 # --------------------------------------------------------------------------- #
@@ -627,6 +691,44 @@ class TestBrokeredAutoscaling:
             assert barrier["committed_workers"] <= auto["max_workers"]
             assert barrier["committed_workers"] >= 0
         assert sum(auto["committed"].values()) <= auto["max_workers"]
+
+    def test_broker_ledger_matches_fleet_under_fault_storm(self):
+        # PR-8 regression: a brokered scale-in grant the shard cannot apply
+        # (candidate failed meanwhile) used to leave the ledger one worker
+        # off forever.  With reconciliation, committed == active +
+        # provisioning + failed at every non-epoch barrier.  Epoch entries
+        # record post-grant ledgers against pre-apply fleets, so only the
+        # budget bounds are asserted there.
+        scenario = _scenario(
+            num_workers=4,
+            base_qpm=60.0,
+            peak_qpm=240.0,
+            duration=8,
+            autoscale_enabled=True,
+            min_workers=2,
+            max_workers=10,
+            provision_delay_s=30.0,
+            autoscale_epoch_s=60.0,
+            faults=(
+                FaultEvent(fail_at_minute=2.0, recover_at_minute=5.0, fleet_fraction=0.5),
+                FaultEvent(fail_at_minute=3.0, recover_at_minute=6.0, fleet_fraction=0.25),
+            ),
+        )
+        run = run_scenario_sharded(
+            scenario, preset="full", seed=3, shards=2, sync_window_s=30.0
+        )
+        barriers = run.extras["sharding"]["barriers"]
+        non_epoch = [b for b in barriers if not b["epoch"]]
+        assert non_epoch and any(b["epoch"] for b in barriers)
+        for barrier in non_epoch:
+            assert (
+                barrier["committed_workers"]
+                == barrier["in_fleet"] + barrier["failed_workers"]
+            ), f"ledger drift at t={barrier['window_end_s']}"
+        max_workers = run.extras["sharding"]["autoscale"]["max_workers"]
+        for barrier in barriers:
+            assert barrier["in_fleet"] <= max_workers
+            assert barrier["committed_workers"] <= max_workers
 
     def test_scaled_fleet_serves_more_than_the_static_fleet(self):
         scenario = _autoscaled_scenario()
@@ -712,3 +814,25 @@ class TestWorkStealing:
         # per-tenant admission accounting reports no migrations
         for entry in run.extras.get("admission", {}).values():
             assert entry.get("stolen", 0) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Contract verification over sharded merges
+# --------------------------------------------------------------------------- #
+
+
+class TestShardedContracts:
+    def test_sharded_report_satisfies_contracts_non_vacuously(self):
+        # The contracts are functions of the report dict, so the sharded
+        # merge must carry enough accounting (outstanding queues, admission
+        # backlog, broker budget, barrier ledger) for conservation,
+        # fleet-budget and ledger-matches-fleet to engage for real.
+        from repro.scenarios.contracts import verify_report, violations
+
+        run = run_scenario_sharded(
+            _autoscaled_scenario(), preset="full", seed=3, shards=2
+        )
+        contracts = ("conservation", "fleet-budget", "ledger-matches-fleet")
+        results = verify_report(run.report(), contracts)
+        assert not violations(results), [str(r) for r in results]
+        assert all(not r.vacuous for r in results), [str(r) for r in results]
