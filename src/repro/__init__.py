@@ -1,20 +1,22 @@
 """repro: a reproduction of Argus, the quality-aware high-throughput
 text-to-image inference serving system (Middleware 2025).
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import ArgusConfig, ArgusSystem, ExperimentRunner, TraceLibrary
+    import repro
 
-    config = ArgusConfig(num_workers=8)
-    system = ArgusSystem(config=config)
-    trace = TraceLibrary(seed=0).twitter_like(duration_minutes=60)
-    result = ExperimentRunner(seed=0).run(system, trace)
-    print(result.summary.as_row())
+    run = repro.run("steady-baseline", preset="small")   # simulation
+    print(run.summary.as_row())
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-figure reproduction index.
+    result = repro.replay("steady-baseline", preset="small", time_scale=60)
+    print(result.report["summary"]["total_completions"])  # live gateway
+
+Deep imports (``from repro.core.system import ArgusSystem``) remain public
+and stable.  See DESIGN.md for the full system inventory and EXPERIMENTS.md
+for the paper-figure reproduction index.
 """
 
+from repro.api import load_scenario, replay, run, serve
 from repro.core.autoscaler import Autoscaler, ScalingEvent
 from repro.core.config import ArgusConfig
 from repro.core.oda import OptimizedDistributionAligner, ShiftMap
@@ -26,6 +28,8 @@ from repro.experiments.runner import (
     build_system,
     compare_systems,
 )
+from repro.gateway.loadgen import LoadgenResult
+from repro.gateway.server import Gateway
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
 from repro.metrics.report import RunSummary, ScenarioReport
 from repro.prompts.dataset import PromptDataset
@@ -53,6 +57,8 @@ __all__ = [
     "Autoscaler",
     "ExperimentResult",
     "ExperimentRunner",
+    "Gateway",
+    "LoadgenResult",
     "ModelZoo",
     "OptimalModelSelector",
     "OptimizedDistributionAligner",
@@ -72,7 +78,11 @@ __all__ = [
     "compare_systems",
     "get_scenario",
     "list_scenarios",
+    "load_scenario",
+    "replay",
+    "run",
     "run_scenario",
     "scenario_names",
+    "serve",
     "__version__",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.prompts.generator import Prompt
+from repro.runtime.base import Runtime, as_runtime
 from repro.simulation.engine import SimulationEngine
 from repro.workloads.tenants import TenantSpec
 
@@ -78,15 +79,17 @@ class FairShareAdmission:
 
     def __init__(
         self,
-        engine: SimulationEngine,
-        tenants: tuple[TenantSpec, ...],
-        capacity_qps: Callable[[], float],
-        admit: Callable[[Prompt, float], None],
+        engine: SimulationEngine | None = None,
+        tenants: tuple[TenantSpec, ...] = (),
+        capacity_qps: Callable[[], float] | None = None,
+        admit: Callable[[Prompt, float], None] | None = None,
         rate_factor: float = 1.0,
         burst_s: float = 2.0,
+        runtime: Runtime | None = None,
     ) -> None:
         """Args:
-        engine: simulation engine used for drain scheduling.
+        engine: simulation engine used for drain scheduling (legacy spelling
+            of ``runtime=SimRuntime(engine)``; give exactly one of the two).
         tenants: the tenant contracts (weights drive rates and quanta).
         capacity_qps: live fleet throughput ceiling in requests/second;
             re-read on every refill so autoscaling moves admission rates.
@@ -95,10 +98,18 @@ class FairShareAdmission:
             admission delay counts into the request's latency.
         rate_factor: aggregate admission rate as a multiple of capacity.
         burst_s: per-tenant bucket depth in seconds of its guaranteed rate.
+        runtime: clock-agnostic scheduler for drain pumps; on a
+            :class:`~repro.runtime.wall.WallClockRuntime` the same DRR logic
+            gates the live gateway.
         """
         if len(tenants) < 2:
             raise ValueError("fair-share admission needs at least two tenants")
+        if capacity_qps is None or admit is None:
+            raise TypeError("capacity_qps and admit are required")
+        if (engine is None) == (runtime is None):
+            raise TypeError("give exactly one of engine= or runtime=")
         self.engine = engine
+        self.runtime = runtime if runtime is not None else as_runtime(engine)
         self.capacity_qps = capacity_qps
         self.admit = admit
         self.rate_factor = float(rate_factor)
@@ -280,11 +291,11 @@ class FairShareAdmission:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
-        self.engine.schedule_in(self._next_pump_delay(), self._pump, name="admission-pump")
+        self.runtime.schedule_in(self._next_pump_delay(), self._pump, name="admission-pump")
 
-    def _pump(self, engine: SimulationEngine) -> None:
+    def _pump(self) -> None:
         self._pump_scheduled = False
-        now = engine.now
+        now = self.runtime.now()
         self._refill(now)
         self._drain(now)
         if self.backlog():

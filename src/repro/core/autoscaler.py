@@ -41,6 +41,7 @@ from repro.core.allocator import Allocator
 from repro.core.config import ArgusConfig
 from repro.models.gpus import gpu_by_name
 from repro.models.zoo import ModelZoo, Strategy
+from repro.runtime.base import Runtime, as_runtime
 from repro.simulation import messages
 from repro.simulation.engine import SimulationEngine
 
@@ -100,11 +101,12 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
-    def install(self, engine: SimulationEngine) -> None:
-        """Schedule the periodic evaluation loop."""
-        engine.schedule_every(
+    def install(self, runtime: Runtime | SimulationEngine) -> None:
+        """Schedule the periodic evaluation loop on an engine or runtime."""
+        runtime = as_runtime(runtime)
+        runtime.schedule_every(
             self.config.autoscale_interval_s,
-            lambda e: self.tick(e.now),
+            lambda: self.tick(runtime.now()),
             name="autoscaler",
         )
 

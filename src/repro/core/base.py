@@ -24,6 +24,7 @@ from repro.metrics.report import RunSummary, TenantSummary, summarize
 from repro.models.zoo import ApproximationLevel, ModelZoo, Strategy
 from repro.prompts.generator import Prompt
 from repro.quality.pickscore import PickScoreModel
+from repro.runtime.sim import SimRuntime
 from repro.simulation.engine import SimulationEngine
 from repro.workloads.tenants import build_runtimes
 
@@ -58,6 +59,9 @@ class BaseServingSystem(ABC):
     ) -> None:
         self.config = config or ArgusConfig()
         self.engine = SimulationEngine(seed=self.config.seed)
+        #: Clock-agnostic scheduling facade every control loop goes through;
+        #: in simulation it is a zero-cost veneer over the engine.
+        self.runtime = SimRuntime(self.engine)
         self.zoo = ModelZoo(gpu=self.config.gpu)
         self.pickscore = pickscore or PickScoreModel(
             num_levels=self.zoo.num_levels(Strategy.AC), seed=self.config.seed
@@ -101,7 +105,7 @@ class BaseServingSystem(ABC):
         self.admission: FairShareAdmission | None = None
         if self.config.admission_enabled:
             self.admission = FairShareAdmission(
-                engine=self.engine,
+                runtime=self.runtime,
                 tenants=self.config.tenants,
                 capacity_qps=self._admission_capacity_qps,
                 admit=self._dispatch_admitted,

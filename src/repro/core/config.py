@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import difflib
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
 
 from repro.metrics.slo import SloPolicy
 from repro.models.gpus import gpu_by_name
@@ -282,6 +284,60 @@ class ArgusConfig:
                     "shards, so a multi-tenant run cannot use more shards "
                     "than it has tenants"
                 )
+
+    # ----------------------------------------------------------------- #
+    # Serialization (the public config API: CLI --config-json, gateway
+    # /config, saved deployments)
+    # ----------------------------------------------------------------- #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict of every field.
+
+        Round-trips through :meth:`from_dict` bit-exactly: enums flatten to
+        their values, the SLO policy and tenant specs to plain dicts,
+        tuples to lists.
+        """
+        payload: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, Strategy):
+                value = value.value
+            elif isinstance(value, SloPolicy):
+                value = {
+                    "multiplier": value.multiplier,
+                    "base_latency_s": value.base_latency_s,
+                }
+            elif spec.name == "tenants":
+                value = [
+                    {k: (list(v) if isinstance(v, tuple) else v) for k, v in asdict(t).items()}
+                    for t in value
+                ]
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArgusConfig":
+        """Build a config from :meth:`to_dict` output (or any subset of it).
+
+        Unknown keys are rejected with the nearest field name suggested, so
+        a typo in a deployment file fails loudly instead of silently keeping
+        the default.
+        """
+        known = {spec.name for spec in fields(cls)}
+        overrides: dict[str, Any] = {}
+        for key, value in data.items():
+            if key not in known:
+                close = difflib.get_close_matches(key, sorted(known), n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise ValueError(f"unknown config key {key!r}{hint}")
+            overrides[key] = value
+        slo = overrides.get("slo")
+        if isinstance(slo, Mapping):
+            overrides["slo"] = SloPolicy(**slo)
+        # __post_init__ coerces the rest: strategy strings, tenant dicts,
+        # gpu_mix lists.
+        return cls(**overrides)
 
     @property
     def batching_enabled(self) -> bool:

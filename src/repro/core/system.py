@@ -31,7 +31,6 @@ from repro.models.zoo import Strategy
 from repro.prompts.dataset import PromptDataset
 from repro.prompts.generator import Prompt
 from repro.quality.profiles import QualityProfiler
-from repro.simulation.engine import SimulationEngine
 
 
 class ArgusSystem(BaseServingSystem):
@@ -187,25 +186,26 @@ class ArgusSystem(BaseServingSystem):
     # BaseServingSystem hooks
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Install the periodic allocation / probing loop."""
-        self.allocator.recalibrate(self.engine.now, self.active_strategy)
+        """Install the periodic allocation / probing loop (clock-agnostic)."""
+        self.allocator.recalibrate(self.runtime.now(), self.active_strategy)
         if self.autoscaler is not None:
-            self.autoscaler.install(self.engine)
+            self.autoscaler.install(self.runtime)
 
-        def tick(engine: SimulationEngine) -> None:
+        def tick() -> None:
+            now = self.runtime.now()
             was_switching = self.allocator.switching_in_progress
             if (
                 self.active_strategy is Strategy.SM
                 and self.cache is not None
                 and not self._load_switched
             ):
-                probe = self.cache.probe_network(engine.now)
+                probe = self.cache.probe_network(now)
                 previous = self.switcher.active
-                self.switcher.observe_probe(probe, engine.now)
+                self.switcher.observe_probe(probe, now)
                 if self.switcher.active is not previous:
                     self._on_strategy_change(self.switcher.active)
                     return
-            record = self.allocator.recalibrate(engine.now, self.active_strategy)
+            record = self.allocator.recalibrate(now, self.active_strategy)
             if self._consider_load_switch(record):
                 return
             if was_switching:
@@ -215,13 +215,13 @@ class ArgusSystem(BaseServingSystem):
         # have been observed) so a cold start under load does not wait a full
         # interval before approximating; after that, ticks follow the
         # configured interval.
-        def first_tick(engine: SimulationEngine) -> None:
-            tick(engine)
-            engine.schedule_every(
+        def first_tick() -> None:
+            tick()
+            self.runtime.schedule_every(
                 self.config.reallocation_interval_s, tick, name="argus-allocator"
             )
 
-        self.engine.schedule_in(
+        self.runtime.schedule_in(
             min(10.0, self.config.reallocation_interval_s), first_tick, name="argus-allocator-warmup"
         )
 

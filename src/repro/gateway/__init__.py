@@ -1,0 +1,33 @@
+"""Live-mode HTTP gateway: wall-clock serving of the modeled stack.
+
+See :mod:`repro.gateway.server` for the gateway itself,
+:mod:`repro.gateway.interceptors` for the composable request pipeline and
+:mod:`repro.gateway.loadgen` for scenario replay against a live server.
+"""
+
+from repro.gateway.interceptors import (
+    AdmissionGate,
+    Handler,
+    Interceptor,
+    RequestContext,
+    compose,
+)
+from repro.gateway.loadgen import LoadgenResult, replay, replay_async
+from repro.gateway.server import Gateway, prompt_from_payload
+from repro.gateway.workers import StubJob, StubWorker, least_backlog_worker
+
+__all__ = [
+    "AdmissionGate",
+    "Gateway",
+    "Handler",
+    "Interceptor",
+    "LoadgenResult",
+    "RequestContext",
+    "StubJob",
+    "StubWorker",
+    "compose",
+    "least_backlog_worker",
+    "prompt_from_payload",
+    "replay",
+    "replay_async",
+]

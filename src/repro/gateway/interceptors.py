@@ -1,0 +1,186 @@
+"""The gateway's composable request-interceptor chain.
+
+A request travels through an ordered pipeline of *interceptors* — each an
+async callable ``(ctx, call_next)`` that may inspect/enrich the context,
+short-circuit (drop), or delegate onward — terminating in the dispatch stage
+that queues the request on a stub worker.  This is the middleware layering
+the ROADMAP names: the standard chain is
+
+    tenant resolution -> admission -> routing -> cache lookup -> dispatch
+
+and operators compose their own by passing a different interceptor list to
+the gateway.  Each stage only touches the :class:`RequestContext`, so custom
+stages (auth, shadowing, rate limits) slot in without touching the core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.core.admission import FairShareAdmission
+from repro.models.zoo import ApproximationLevel
+from repro.prompts.generator import Prompt
+
+
+@dataclass
+class RequestContext:
+    """Mutable per-request state threaded through the interceptor chain."""
+
+    prompt: Prompt
+    #: Model time when the gateway accepted the request.
+    received_at_s: float
+    #: Model time the request's latency clock starts at (admission keeps the
+    #: original offer time, so admission delay counts into the latency).
+    arrival_time_s: float = 0.0
+    tenant: str = ""
+    #: True when fair-share admission parked the request before dispatch.
+    admission_delayed: bool = False
+    #: Target approximation level chosen by routing/cache stages.
+    level: ApproximationLevel | None = None
+    worker_id: int | None = None
+    #: Total modeled GPU-pass time (set by the cache-lookup stage).
+    service_time_s: float = 0.0
+    effective_rank: int = 0
+    cache_hit: bool = False
+    retrieval_latency_s: float = 0.0
+    retrieval_failed: bool = False
+    dropped: bool = False
+    drop_reason: str = ""
+    #: Endpoint response payload (filled by dispatch on completion).
+    response: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.tenant = self.prompt.tenant
+        if self.arrival_time_s == 0.0:
+            self.arrival_time_s = self.received_at_s
+
+
+Handler = Callable[[RequestContext], Awaitable[None]]
+Interceptor = Callable[[RequestContext, Handler], Awaitable[None]]
+
+
+def compose(interceptors: list[Interceptor], terminal: Handler) -> Handler:
+    """Fold an interceptor list into a single handler (first runs outermost)."""
+    handler = terminal
+    for interceptor in reversed(interceptors):
+        def bound(ctx: RequestContext, _next=handler, _layer=interceptor):
+            return _layer(ctx, _next)
+
+        handler = bound
+    return handler
+
+
+# --------------------------------------------------------------------------- #
+# Admission bridge: FairShareAdmission's callback world -> asyncio futures
+# --------------------------------------------------------------------------- #
+
+
+class AdmissionGate:
+    """Adapts the synchronous DRR admission controller to async callers.
+
+    ``FairShareAdmission.offer`` either admits immediately or parks the
+    prompt in a tenant queue and later invokes its ``admit`` callback from a
+    runtime-scheduled drain pump.  Here each parked prompt gets an
+    :class:`asyncio.Future`; the pump's callback (which runs in-loop, via
+    ``loop.call_later``) resolves it with the original offer time, and the
+    awaiting request task resumes.  The same controller object, the same
+    token buckets and quanta — only the notification mechanism differs.
+    """
+
+    def __init__(self) -> None:
+        self.controller: FairShareAdmission | None = None
+        self._waiters: dict[int, asyncio.Future] = {}
+
+    def attach(self, controller: FairShareAdmission | None) -> None:
+        self.controller = controller
+
+    def on_admit(self, prompt: Prompt, offer_time_s: float) -> None:
+        """``admit`` callback handed to :class:`FairShareAdmission`."""
+        future = self._waiters.pop(id(prompt), None)
+        if future is not None and not future.done():
+            future.set_result(offer_time_s)
+
+    async def offer(self, now: float, prompt: Prompt) -> tuple[float, bool]:
+        """Admit ``prompt``, waiting out any fair-share delay.
+
+        Returns ``(offer_time_s, delayed)``: the latency clock start (always
+        the original offer time, so queueing at admission is charged to the
+        request) and whether the request actually waited.
+        """
+        if self.controller is None:
+            return now, False
+        if self.controller.offer(now, prompt):
+            return now, False
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[id(prompt)] = future
+        try:
+            return await future, True
+        finally:
+            self._waiters.pop(id(prompt), None)
+
+    def backlog(self, tenant: str | None = None) -> int:
+        if self.controller is None:
+            return 0
+        return self.controller.backlog(tenant)
+
+
+# --------------------------------------------------------------------------- #
+# Standard interceptors (factories closing over gateway components)
+# --------------------------------------------------------------------------- #
+
+
+def tenant_resolution(known_tenants: frozenset[str]) -> Interceptor:
+    """Resolve and validate the request's tenant.
+
+    With tenants configured, unknown tenant tags are rejected at the front
+    door (the live analogue of a 403); the anonymous deployment passes
+    everything through untagged.
+    """
+
+    async def run(ctx: RequestContext, call_next: Handler) -> None:
+        if known_tenants and ctx.tenant and ctx.tenant not in known_tenants:
+            ctx.dropped = True
+            ctx.drop_reason = f"unknown tenant {ctx.tenant!r}"
+            return
+        await call_next(ctx)
+
+    return run
+
+
+def admission(gate: AdmissionGate) -> Interceptor:
+    """Weighted fair-share admission (may suspend the request task)."""
+
+    async def run(ctx: RequestContext, call_next: Handler) -> None:
+        offered_at, delayed = await gate.offer(ctx.received_at_s, ctx.prompt)
+        ctx.arrival_time_s = offered_at
+        ctx.admission_delayed = delayed
+        await call_next(ctx)
+
+    return run
+
+
+def routing(pick_worker: Callable[[RequestContext], int | None]) -> Interceptor:
+    """Least-backlog worker selection (Eq. 3 over the stub fleet)."""
+
+    async def run(ctx: RequestContext, call_next: Handler) -> None:
+        worker_id = pick_worker(ctx)
+        if worker_id is None:
+            ctx.dropped = True
+            ctx.drop_reason = "no healthy worker"
+            return
+        ctx.worker_id = worker_id
+        await call_next(ctx)
+
+    return run
+
+
+def cache_lookup(profile: Callable[[RequestContext], None]) -> Interceptor:
+    """Approximate-cache retrieval: sets level, service time and hit stats."""
+
+    async def run(ctx: RequestContext, call_next: Handler) -> None:
+        profile(ctx)
+        await call_next(ctx)
+
+    return run

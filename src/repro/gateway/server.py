@@ -1,0 +1,563 @@
+"""Asyncio HTTP gateway serving the modeled stack in wall-clock time.
+
+The gateway is the live-mode counterpart of a simulated serving system: the
+same :class:`~repro.core.config.ArgusConfig`, model zoo, approximate cache,
+fair-share admission controller and metrics collector — but running on a
+:class:`~repro.runtime.wall.WallClockRuntime` with sleep-based stub workers
+instead of the event-heap cluster.  Requests enter over HTTP, travel the
+interceptor chain (tenant resolution -> admission -> routing -> cache
+lookup -> dispatch), and land on the worker with the least backlog.
+
+The HTTP layer is a minimal dependency-free HTTP/1.1 server on
+``asyncio.start_server`` (keep-alive, Content-Length framing only), which is
+all the loopback load generator and a Prometheus scraper need.
+
+Endpoints:
+
+- ``GET /healthz`` — liveness plus headline counters.
+- ``GET /metrics`` — Prometheus text exposition of the collector.
+- ``GET /config`` — the gateway's resolved ``ArgusConfig.to_dict()``.
+- ``GET /report`` — a :class:`~repro.metrics.report.ScenarioReport` dict
+  (same shape the simulator emits, so PR-8 contracts certify live runs).
+- ``POST /v1/generate`` — serve one prompt; body is the prompt's fields
+  (``dataclasses.asdict(prompt)`` round-trips).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from dataclasses import replace
+from typing import Mapping
+from urllib.parse import parse_qs
+
+from repro.cache.approximate import ApproximateCache
+from repro.cache.network import NetworkModel
+from repro.classifier.drift import DriftDetector
+from repro.cluster.requests import CompletedRequest, Request
+from repro.core.admission import FairShareAdmission
+from repro.core.config import ArgusConfig
+from repro.gateway.interceptors import (
+    AdmissionGate,
+    Interceptor,
+    RequestContext,
+    admission,
+    cache_lookup,
+    compose,
+    routing,
+    tenant_resolution,
+)
+from repro.gateway.workers import (
+    StubJob,
+    StubWorker,
+    fleet_ceiling_qps,
+    least_backlog_worker,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.prometheus import render_prometheus
+from repro.metrics.report import ScenarioReport, TenantSummary, summarize
+from repro.models.zoo import ModelZoo, Strategy
+from repro.prompts.dataset import PromptDataset
+from repro.prompts.generator import Prompt
+from repro.quality.pickscore import PickScoreModel
+from repro.runtime.wall import WallClockRuntime
+from repro.workloads.tenants import build_runtimes
+
+#: Added model-seconds when a retrieval attempt hits a network outage
+#: (matches :class:`repro.cluster.worker.Worker`'s default).
+FAILED_RETRIEVAL_PENALTY_S = 0.25
+
+
+def prompt_from_payload(payload: Mapping) -> Prompt:
+    """Build a :class:`Prompt` from a request body.
+
+    Accepts the full field dict (``dataclasses.asdict(prompt)``, possibly
+    nested under ``"prompt"``) or a ``{"text": ...}`` shorthand for manual
+    curls, which synthesises neutral feature values.
+    """
+    data = dict(payload.get("prompt", payload))
+    if "text" in data and "prompt_id" not in data:
+        return Prompt(
+            prompt_id=abs(hash(data["text"])) % (1 << 31),
+            text=str(data["text"]),
+            num_entities=int(data.get("num_entities", 1)),
+            num_attributes=int(data.get("num_attributes", 0)),
+            num_style_tags=int(data.get("num_style_tags", 0)),
+            has_action=bool(data.get("has_action", False)),
+            has_scene=bool(data.get("has_scene", False)),
+            complexity=float(data.get("complexity", 0.5)),
+            topic=int(data.get("topic", 0)),
+            tenant=str(data.get("tenant", "")),
+        )
+    return Prompt(**data)
+
+
+class Gateway:
+    """Live serving gateway over the stub worker fleet.
+
+    Construction wires the same component set as
+    :class:`~repro.core.base.BaseServingSystem`, swapping the simulation
+    engine for a wall-clock runtime: ``time_scale`` model-seconds elapse per
+    wall-second, so a scenario minute replays in ``60 / time_scale`` real
+    seconds while every latency and SLO stays in model time.
+    """
+
+    name = "gateway"
+
+    def __init__(
+        self,
+        config: ArgusConfig | None = None,
+        time_scale: float = 1.0,
+        interceptors: list[Interceptor] | None = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.config = config or ArgusConfig()
+        self.time_scale = float(time_scale)
+        self.runtime = WallClockRuntime(time_scale=self.time_scale)
+        self.zoo = ModelZoo(gpu=self.config.gpu)
+        self.pickscore = PickScoreModel(
+            num_levels=self.zoo.num_levels(Strategy.AC), seed=self.config.seed
+        )
+        self.network = NetworkModel(seed=self.config.seed + 1)
+        self.cache = ApproximateCache(network=self.network, tenants=self.config.tenants)
+        self.tenant_runtimes = build_runtimes(self.config.tenants, self.config.slo)
+        self.collector = MetricsCollector(
+            slo=self.config.slo, retain_completed=self.config.retain_completed
+        )
+        self.strategy = self.config.default_strategy
+        self.workers = [
+            StubWorker(worker_id=i, gpu=self.config.gpu, zoo=self.zoo, runtime=self.runtime)
+            for i in range(self.config.num_workers)
+        ]
+        self.gate = AdmissionGate()
+        self.admission: FairShareAdmission | None = None
+        if self.config.admission_enabled:
+            self.admission = FairShareAdmission(
+                runtime=self.runtime,
+                tenants=self.config.tenants,
+                capacity_qps=self._admission_capacity_qps,
+                admit=self.gate.on_admit,
+                rate_factor=self.config.admission_rate_factor,
+                burst_s=self.config.admission_burst_s,
+            )
+        self.gate.attach(self.admission)
+        self._drift = DriftDetector()
+        self._drift_detectors: dict[str, DriftDetector] = {}
+        self.drift_events = 0
+        self._request_ids = itertools.count()
+        self._known_tenants = frozenset(
+            spec.name for spec in self.config.tenants if spec.name
+        )
+        chain = interceptors if interceptors is not None else self.default_interceptors()
+        self._handler = compose(list(chain), self._dispatch)
+        self._server: asyncio.base_events.Server | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        if self.config.cache_warm_prompts > 0:
+            self._warm_cache()
+
+    # ------------------------------------------------------------------ #
+    # Interceptor chain
+    # ------------------------------------------------------------------ #
+    def default_interceptors(self) -> list[Interceptor]:
+        """The standard chain; operators may prepend/replace stages."""
+        return [
+            tenant_resolution(self._known_tenants),
+            admission(self.gate),
+            routing(self._pick_worker),
+            cache_lookup(self._profile),
+        ]
+
+    def _pick_worker(self, ctx: RequestContext) -> int | None:
+        if not self.workers:
+            return None
+        return least_backlog_worker(self.workers).worker_id
+
+    def _profile(self, ctx: RequestContext) -> None:
+        """Cache retrieval + latency model: the stub analogue of
+        :meth:`repro.cluster.worker.Worker._service_profile` (no jitter)."""
+        worker = self.workers[ctx.worker_id]
+        level = self.zoo.fastest_level(self.strategy)
+        ctx.level = level
+        if self.strategy is not Strategy.AC or level.skip_steps in (None, 0):
+            # SM (or an AC zoo whose fastest level skips nothing): serve the
+            # exact variant so quality matches the modeled baseline.
+            level = self.zoo.exact_level(self.strategy)
+            ctx.level = level
+            ctx.service_time_s = worker.level_latency_s(level)
+            ctx.effective_rank = level.rank
+            return
+        outcome = self.cache.retrieve(ctx.prompt, level.skip_steps, self.runtime.now())
+        spec = self.zoo.ac_level_spec(outcome.effective_skip) if outcome.effective_skip else None
+        base_variant = self.zoo.sm_variant(level.variant_name or "SD-XL")
+        if spec is None:
+            latency = self.zoo.latency_model.variant_latency(base_variant)
+            ctx.effective_rank = 0
+        else:
+            latency = self.zoo.latency_model.ac_latency(
+                spec, base_variant, outcome.retrieval_latency_s
+            )
+            ctx.effective_rank = spec.approximation_rank
+        if outcome.network_failed:
+            latency += FAILED_RETRIEVAL_PENALTY_S
+        ctx.cache_hit = outcome.hit
+        ctx.retrieval_latency_s = outcome.retrieval_latency_s
+        ctx.retrieval_failed = outcome.network_failed
+        ctx.service_time_s = latency * worker.speed_scale
+
+    async def _dispatch(self, ctx: RequestContext) -> None:
+        """Terminal stage: queue on the chosen worker, await completion."""
+        worker = self.workers[ctx.worker_id]
+        request = Request(
+            request_id=next(self._request_ids),
+            prompt=ctx.prompt,
+            arrival_time_s=ctx.arrival_time_s,
+            strategy=self.strategy,
+            predicted_rank=ctx.level.rank,
+            assigned_rank=ctx.level.rank,
+        )
+        done = asyncio.get_running_loop().create_future()
+
+        def finish(worker_id: int, start_s: float) -> None:
+            completed = CompletedRequest(
+                request=request,
+                worker_id=worker_id,
+                start_time_s=start_s,
+                completion_time_s=self.runtime.now(),
+                effective_rank=ctx.effective_rank,
+                service_time_s=ctx.service_time_s,
+                retrieval_latency_s=ctx.retrieval_latency_s,
+                cache_hit=ctx.cache_hit,
+                retrieval_failed=ctx.retrieval_failed,
+            )
+            if self.strategy is Strategy.AC:
+                self.cache.store_states(ctx.prompt)
+            score = self.pickscore.score(ctx.prompt, self.strategy, ctx.effective_rank)
+            best = self.pickscore.best_score(ctx.prompt)
+            sample = self.collector.record_completion(completed, score, best)
+            if self._drift_for(ctx.tenant).observe(score) is not None:
+                self.drift_events += 1
+            ctx.response = {
+                "request_id": request.request_id,
+                "tenant": ctx.tenant,
+                "worker_id": worker_id,
+                "strategy": self.strategy.value,
+                "effective_rank": ctx.effective_rank,
+                "cache_hit": ctx.cache_hit,
+                "admission_delayed": ctx.admission_delayed,
+                "service_time_s": ctx.service_time_s,
+                "latency_s": completed.latency_s,
+                "relative_quality": sample.relative_quality,
+            }
+            if not done.done():
+                done.set_result(None)
+
+        worker.enqueue(StubJob(service_time_s=ctx.service_time_s, done=finish))
+        await done
+
+    # ------------------------------------------------------------------ #
+    # Control-plane helpers
+    # ------------------------------------------------------------------ #
+    def _admission_capacity_qps(self) -> float:
+        """Hit-rate-corrected fleet throughput (mirrors the simulator's
+        :meth:`~repro.core.base.BaseServingSystem._admission_capacity_qps`)."""
+        ceiling = fleet_ceiling_qps(self.workers, self.zoo, self.strategy)
+        if self.strategy is Strategy.AC:
+            fastest = self.zoo.fastest_level(self.strategy).latency_s
+            exact = self.zoo.exact_level(self.strategy).latency_s
+            hit = (self.cache.retrieval_hits + 5.0) / (self.cache.retrieval_attempts + 10.0)
+            effective = hit * fastest + (1.0 - hit) * exact
+            ceiling *= fastest / effective
+        return ceiling
+
+    def _warm_cache(self) -> None:
+        """Pre-populate the cache from the offline training set, per tenant
+        (same derivation as :class:`~repro.core.system.ArgusSystem`)."""
+        dataset = PromptDataset.synthetic(
+            count=max(self.config.classifier_training_prompts, self.config.cache_warm_prompts),
+            seed=self.config.seed + 101,
+        )
+        warm = dataset.prompts[: self.config.cache_warm_prompts]
+        if self.config.tenants:
+            for spec in self.config.tenants:
+                if not spec.name:
+                    self.cache.warm(warm)
+                    continue
+                count = (
+                    len(warm) if spec.cache_quota is None else min(len(warm), spec.cache_quota)
+                )
+                self.cache.warm([replace(prompt, tenant=spec.name) for prompt in warm[:count]])
+        else:
+            self.cache.warm(warm)
+
+    def _drift_for(self, tenant: str) -> DriftDetector:
+        if not tenant:
+            return self._drift
+        detector = self._drift_detectors.get(tenant)
+        if detector is None:
+            detector = DriftDetector()
+            self._drift_detectors[tenant] = detector
+        return detector
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _tenant_breakdown(self) -> tuple[TenantSummary, ...]:
+        rows = []
+        for runtime in self.tenant_runtimes.values():
+            spec = runtime.spec
+            stats = self.collector.tenant_stats(spec.name, budget_s=runtime.budget_s)
+            admission_stats = (
+                self.admission.stats_for(spec.name) if self.admission is not None else None
+            )
+            rows.append(
+                TenantSummary(
+                    name=spec.name,
+                    slo_class=spec.slo_class,
+                    weight=spec.weight,
+                    slo_budget_s=runtime.budget_s,
+                    arrivals=stats["arrivals"],
+                    completions=stats["completions"],
+                    dropped=stats["dropped"],
+                    slo_violation_ratio=stats["violation_ratio"],
+                    mean_relative_quality=stats["mean_relative_quality"],
+                    p99_latency_s=stats["p99_latency_s"],
+                    quality_floor=spec.quality_floor,
+                    cache_hit_rate=self.cache.retrieval_hit_rate_for(spec.name),
+                    admission_delayed=0 if admission_stats is None else admission_stats.delayed,
+                    mean_admission_wait_s=(
+                        0.0 if admission_stats is None else admission_stats.mean_wait_s
+                    ),
+                    admission_backlog=(
+                        0 if self.admission is None else self.admission.backlog(spec.name)
+                    ),
+                )
+            )
+        return tuple(rows)
+
+    def report_dict(
+        self,
+        scenario: str = "live",
+        preset: str = "live",
+        seed: int | None = None,
+        workload: str = "live",
+        duration_minutes: float | None = None,
+    ) -> dict:
+        """Scenario-shaped report dict over everything served so far.
+
+        The dict has the exact shape of a simulated
+        :class:`~repro.metrics.report.ScenarioReport` — including the
+        ``extras.outstanding`` and ``extras.cache_tenants`` blocks the PR-8
+        contracts read — so ``verify_report`` certifies live runs unchanged.
+        """
+        now = self.runtime.now()
+        minutes_elapsed = (
+            float(duration_minutes) if duration_minutes else max(now / 60.0, 1.0 / 60.0)
+        )
+        duration_s = minutes_elapsed * 60.0
+        busy = sum(w.busy_s for w in self.workers)
+        utilization = busy / max(duration_s * max(len(self.workers), 1), 1e-9)
+        summary = summarize(
+            system=self.name,
+            workload=workload,
+            collector=self.collector,
+            duration_minutes=minutes_elapsed,
+            cluster_utilization=min(1.0, utilization),
+            fleet_peak_workers=len(self.workers),
+            fleet_mean_workers=float(len(self.workers)),
+            tenants=self._tenant_breakdown(),
+        )
+        extras: dict = {
+            "gateway": {
+                "time_scale": self.time_scale,
+                "model_time_s": now,
+                "strategy": self.strategy.value,
+            },
+            "outstanding": {
+                "worker_queues": sum(w.outstanding for w in self.workers),
+                "admission_backlog": self.gate.backlog(),
+            },
+            "retrieval_hit_rate": self.cache.retrieval_hit_rate,
+            "retrieval_attempts": self.cache.retrieval_attempts,
+            "drift_events": self.drift_events,
+        }
+        if self.config.tenants:
+            extras["cache_tenants"] = {
+                spec.name: {
+                    "entries": self.cache.tenant_entries(spec.name),
+                    "quota": spec.cache_quota,
+                }
+                for spec in self.config.tenants
+            }
+        report = ScenarioReport(
+            scenario=scenario,
+            preset=preset,
+            seed=self.config.seed if seed is None else int(seed),
+            system=self.name,
+            workload=workload,
+            summary=summary,
+            minutes=ScenarioReport.minute_rows(self.collector.minute_series()),
+            extras=extras,
+        )
+        return report.to_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the collector plus gateway gauges."""
+        gauges = {
+            "fleet_workers": float(len(self.workers)),
+            "worker_queue_depth": float(sum(w.outstanding for w in self.workers)),
+            "admission_backlog": float(self.gate.backlog()),
+            "model_time_seconds": self.runtime.now(),
+            "cache_retrieval_hit_rate": self.cache.retrieval_hit_rate,
+        }
+        return render_prometheus(self.collector, extra_gauges=gauges)
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    async def handle_generate(self, payload: Mapping) -> tuple[int, dict]:
+        """Serve one prompt through the interceptor chain."""
+        try:
+            prompt = prompt_from_payload(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"bad prompt payload: {exc}"}
+        now = self.runtime.now()
+        self.collector.record_arrival(now, tenant=prompt.tenant)
+        ctx = RequestContext(prompt=prompt, received_at_s=now)
+        await self._handler(ctx)
+        if ctx.dropped:
+            self.collector.record_drop(tenant=ctx.tenant)
+            return 422, {"dropped": True, "reason": ctx.drop_reason}
+        return 200, ctx.response
+
+    async def handle(self, method: str, target: str, body: bytes) -> tuple[int, str, bytes]:
+        """Route one HTTP request; returns (status, content-type, payload)."""
+        path, _, query = target.partition("?")
+        params = {key: values[-1] for key, values in parse_qs(query).items()}
+        if method == "GET" and path == "/healthz":
+            return _json_response(
+                200,
+                {
+                    "status": "ok",
+                    "model_time_s": self.runtime.now(),
+                    "offered": self.collector.total_arrivals,
+                    "served": self.collector.total_completions,
+                },
+            )
+        if method == "GET" and path == "/metrics":
+            return 200, "text/plain; version=0.0.4; charset=utf-8", self.metrics_text().encode()
+        if method == "GET" and path == "/config":
+            return _json_response(200, self.config.to_dict())
+        if method == "GET" and path == "/report":
+            duration = params.get("duration_minutes")
+            return _json_response(
+                200,
+                self.report_dict(
+                    scenario=params.get("scenario", "live"),
+                    preset=params.get("preset", "live"),
+                    seed=int(params["seed"]) if "seed" in params else None,
+                    workload=params.get("workload", "live"),
+                    duration_minutes=float(duration) if duration else None,
+                ),
+            )
+        if method == "POST" and path == "/v1/generate":
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                return _json_response(400, {"error": f"invalid JSON body: {exc}"})
+            status, response = await self.handle_generate(payload)
+            return _json_response(status, response)
+        return _json_response(404, {"error": f"no route for {method} {path}"})
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start the worker fleet and listen on ``host:port`` (0 = ephemeral)."""
+        self.runtime.start()
+        for worker in self.workers:
+            worker.start()
+        self._server = await asyncio.start_server(self._serve_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for worker in self.workers:
+            await worker.stop()
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("gateway is not started")
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = request_line.decode("latin-1").split()
+                except ValueError:
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                body = b""
+                length = int(headers.get("content-length", 0) or 0)
+                if length:
+                    body = await reader.readexactly(length)
+                status, content_type, payload = await self.handle(method.upper(), target, body)
+                close = headers.get("connection", "").lower() == "close"
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        f"Content-Type: {content_type}\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+                        "\r\n"
+                    ).encode("latin-1")
+                )
+                writer.write(payload)
+                await writer.drain()
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+def _json_response(status: int, payload: dict) -> tuple[int, str, bytes]:
+    return status, "application/json", json.dumps(payload, sort_keys=True).encode()

@@ -1,0 +1,141 @@
+"""Prometheus text-format export of the metrics collector.
+
+A pure function over :class:`~repro.metrics.collector.MetricsCollector` (plus
+caller-supplied gauges), so the same rendering serves the live gateway's
+``/metrics`` endpoint and ad-hoc snapshots of a simulation run.  The output
+follows the Prometheus exposition format version 0.0.4: ``# HELP`` /
+``# TYPE`` preambles, counters suffixed ``_total``, label values escaped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.metrics.collector import MetricsCollector
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    # Prometheus accepts plain floats; repr keeps full precision without
+    # scientific-notation surprises for typical magnitudes.
+    return repr(float(value))
+
+
+class _Lines:
+    """Accumulates one metric family at a time (HELP/TYPE emitted once)."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._out: list[str] = []
+
+    def family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        samples: Iterable[tuple[Mapping[str, str] | None, float]],
+    ) -> None:
+        metric = f"{self.namespace}_{name}"
+        rows = list(samples)
+        if not rows:
+            return
+        self._out.append(f"# HELP {metric} {help_text}")
+        self._out.append(f"# TYPE {metric} {kind}")
+        for labels, value in rows:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+                )
+                self._out.append(f"{metric}{{{rendered}}} {_fmt(value)}")
+            else:
+                self._out.append(f"{metric} {_fmt(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self._out) + "\n"
+
+
+def render_prometheus(
+    collector: MetricsCollector,
+    extra_gauges: Mapping[str, float] | None = None,
+    namespace: str = "repro",
+) -> str:
+    """Render a collector snapshot in Prometheus text format.
+
+    ``extra_gauges`` lets the caller fold in figures the collector does not
+    own (fleet size, admission backlog, cache hit rate); each key becomes a
+    gauge named ``{namespace}_{key}``.
+    """
+    lines = _Lines(namespace)
+    lines.family(
+        "requests_offered_total",
+        "counter",
+        "Requests offered to the system (admitted or not).",
+        [(None, collector.total_arrivals)],
+    )
+    lines.family(
+        "requests_served_total",
+        "counter",
+        "Requests served to completion.",
+        [(None, collector.total_completions)],
+    )
+    lines.family(
+        "requests_dropped_total",
+        "counter",
+        "Requests dropped (unroutable or rejected).",
+        [(None, collector.dropped_requests)],
+    )
+    lines.family(
+        "slo_violations_total",
+        "counter",
+        "Completions whose end-to-end latency exceeded the SLO budget.",
+        [(None, collector.total_slo_violations)],
+    )
+    lines.family(
+        "slo_violation_ratio",
+        "gauge",
+        "Fraction of completions violating the latency SLO.",
+        [(None, collector.slo_violation_ratio())],
+    )
+    if collector.total_completions:
+        lines.family(
+            "latency_seconds",
+            "summary",
+            "End-to-end request latency quantiles (queueing + service).",
+            [
+                ({"quantile": "0.5"}, collector.latency_percentile(50)),
+                ({"quantile": "0.99"}, collector.latency_percentile(99)),
+            ],
+        )
+        lines.family(
+            "relative_quality_mean",
+            "gauge",
+            "Mean served quality relative to the exact model.",
+            [(None, collector.mean_relative_quality())],
+        )
+    tenants = [name for name in collector.tenant_names if name]
+    if tenants:
+        per_tenant = [(name, collector.tenant_stats(name)) for name in tenants]
+        lines.family(
+            "tenant_requests_offered_total",
+            "counter",
+            "Requests offered, by tenant.",
+            [({"tenant": name}, stats["arrivals"]) for name, stats in per_tenant],
+        )
+        lines.family(
+            "tenant_requests_served_total",
+            "counter",
+            "Requests served, by tenant.",
+            [({"tenant": name}, stats["completions"]) for name, stats in per_tenant],
+        )
+    if extra_gauges:
+        for key in sorted(extra_gauges):
+            lines.family(
+                key,
+                "gauge",
+                f"{key} (gateway-supplied gauge).",
+                [(None, extra_gauges[key])],
+            )
+    return lines.render()

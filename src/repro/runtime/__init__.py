@@ -1,0 +1,19 @@
+"""Clock-agnostic runtime abstraction (simulated or wall-clock time).
+
+The control plane — admission, autoscaler, allocator tick loops — schedules
+against the :class:`Runtime` protocol; :class:`SimRuntime` runs it on the
+discrete-event engine bit-identically to before, :class:`WallClockRuntime`
+runs the very same objects on asyncio wall time for the live gateway.
+"""
+
+from repro.runtime.base import Runtime, ScheduledTask, as_runtime
+from repro.runtime.sim import SimRuntime
+from repro.runtime.wall import WallClockRuntime
+
+__all__ = [
+    "Runtime",
+    "ScheduledTask",
+    "SimRuntime",
+    "WallClockRuntime",
+    "as_runtime",
+]

@@ -1,0 +1,86 @@
+"""The clock-agnostic runtime contract the control plane is written against.
+
+The scheduler, admission controller, autoscaler tick loops and the gateway
+all talk to a :class:`Runtime` instead of a concrete clock: ``now()`` is the
+current *model time* in seconds, ``schedule_*`` arranges future callbacks,
+and ``sleep`` suspends an async task for a model-time duration.  Two
+implementations exist:
+
+- :class:`~repro.runtime.sim.SimRuntime` delegates to the discrete-event
+  :class:`~repro.simulation.engine.SimulationEngine` — same heap, same
+  sequence numbers, bit-identical behaviour to calling the engine directly.
+- :class:`~repro.runtime.wall.WallClockRuntime` maps model time onto the
+  asyncio event loop's wall clock, optionally time-compressed, so the same
+  control-plane objects drive live traffic.
+
+Callbacks take **no arguments** (unlike engine callbacks, which receive the
+engine); read the time via ``runtime.now()`` inside the callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ScheduledTask(Protocol):
+    """Cancellable handle returned by the ``schedule_*`` family."""
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op once it has run)."""
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """What the control plane needs from a clock: read it, schedule on it."""
+
+    def now(self) -> float:
+        """Current model time in seconds."""
+        ...
+
+    def schedule_at(
+        self, time_s: float, fn: Callable[[], None], name: str = ""
+    ) -> ScheduledTask:
+        """Run ``fn`` at absolute model time ``time_s``."""
+        ...
+
+    def schedule_in(
+        self, delay_s: float, fn: Callable[[], None], name: str = ""
+    ) -> ScheduledTask:
+        """Run ``fn`` after ``delay_s`` model seconds."""
+        ...
+
+    def schedule_every(
+        self,
+        interval_s: float,
+        fn: Callable[[], None],
+        name: str = "",
+        start_delay_s: float | None = None,
+    ) -> ScheduledTask:
+        """Run ``fn`` every ``interval_s`` model seconds until cancelled."""
+        ...
+
+    async def sleep(self, duration_s: float) -> None:
+        """Suspend the calling task for ``duration_s`` model seconds."""
+        ...
+
+
+def as_runtime(source) -> Runtime:
+    """Coerce an engine or runtime into a :class:`Runtime`.
+
+    Accepts a :class:`~repro.simulation.engine.SimulationEngine` (wrapped in
+    a :class:`~repro.runtime.sim.SimRuntime`) or any object already
+    satisfying the protocol (returned as-is).  This is what lets refactored
+    call sites such as ``Autoscaler.install`` keep accepting the engine they
+    always took.
+    """
+    # Local import: repro.simulation must not depend on this package.
+    from repro.simulation.engine import SimulationEngine
+
+    if isinstance(source, SimulationEngine):
+        from repro.runtime.sim import SimRuntime
+
+        return SimRuntime(source)
+    if isinstance(source, Runtime):
+        return source
+    raise TypeError(f"cannot build a Runtime from {type(source).__name__}")

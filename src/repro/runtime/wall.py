@@ -1,0 +1,94 @@
+"""Wall-clock runtime: model time mapped onto the asyncio event loop.
+
+``time_scale`` is *model seconds per wall second*: at 1.0 the gateway runs
+in real time; at 60.0 one wall second covers a simulated minute, which is
+how the load generator replays a 15-minute scenario trace in seconds while
+every control loop (admission pumps, allocator ticks, autoscaler epochs)
+still fires at its configured *model*-time cadence.  All public times —
+``now()``, schedule delays, sleep durations — are model seconds; division
+by ``time_scale`` happens only at the loop boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+
+class _WallTask:
+    """Cancellable handle over one ``loop.call_later`` timer."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle | None = None) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+
+class WallClockRuntime:
+    """:class:`~repro.runtime.base.Runtime` over the asyncio event loop."""
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = float(time_scale)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._origin = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        """Pin the loop and zero the model clock (call once, inside the loop)."""
+        self._loop = loop or asyncio.get_running_loop()
+        self._origin = self._loop.time()
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError("WallClockRuntime.start() must run before scheduling")
+        return self._loop
+
+    # ------------------------------------------------------------------ #
+    # Runtime protocol
+    # ------------------------------------------------------------------ #
+    def now(self) -> float:
+        """Model seconds since :meth:`start`."""
+        return (self._require_loop().time() - self._origin) * self.time_scale
+
+    def schedule_in(self, delay_s: float, fn: Callable[[], None], name: str = "") -> _WallTask:
+        loop = self._require_loop()
+        handle = loop.call_later(max(0.0, delay_s) / self.time_scale, fn)
+        return _WallTask(handle)
+
+    def schedule_at(self, time_s: float, fn: Callable[[], None], name: str = "") -> _WallTask:
+        return self.schedule_in(time_s - self.now(), fn, name=name)
+
+    def schedule_every(
+        self,
+        interval_s: float,
+        fn: Callable[[], None],
+        name: str = "",
+        start_delay_s: float | None = None,
+    ) -> _WallTask:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        loop = self._require_loop()
+        task = _WallTask()
+        first_delay = interval_s if start_delay_s is None else start_delay_s
+
+        def tick() -> None:
+            if task.cancelled:
+                return
+            fn()
+            task._handle = loop.call_later(interval_s / self.time_scale, tick)
+
+        task._handle = loop.call_later(max(0.0, first_delay) / self.time_scale, tick)
+        return task
+
+    async def sleep(self, duration_s: float) -> None:
+        await asyncio.sleep(max(0.0, duration_s) / self.time_scale)

@@ -7,6 +7,10 @@ Commands::
     python -m repro run --scenario <name> [--preset small|full] [--seed N]
                         [--system argus] [--shards N] [--sync-window-s S]
                         [--output report.json] [--check-contracts]
+    python -m repro serve [--host H] [--port P] [--time-scale X]
+                          [--config-json config.json]
+    python -m repro loadgen <scenario> [--preset small] [--url http://...]
+                            [--time-scale X] [--check-contracts]
 
 ``list --json`` prints the scenario names as a JSON array — the CI scenario
 matrix is generated from exactly that output.  ``run`` writes a
@@ -15,6 +19,14 @@ is byte-identical across repeated runs with the same arguments.  With
 ``--check-contracts`` the run's report is verified against the scenario's
 declared invariant contracts and the command exits 1 on any violation —
 the CI ``contract-check`` job is exactly that, over the whole catalog.
+
+``serve`` starts the live HTTP gateway (:mod:`repro.gateway`); ``loadgen``
+replays a scenario's request stream against it (in-process by default, or an
+external server via ``--url``) and verifies the same contracts on the live
+report — the CI ``gateway-smoke`` job is exactly that.  ``--config-json``
+takes a file in the ``ArgusConfig.to_dict()`` shape (scrape a live server's
+``GET /config`` for a template); unknown keys are rejected with a
+nearest-name suggestion.
 """
 
 from __future__ import annotations
@@ -158,6 +170,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_config_json(path: str | None):
+    """Parse a ``--config-json`` file into an ``ArgusConfig`` (or None)."""
+    if path is None:
+        return None
+    from repro.core.config import ArgusConfig
+
+    with open(path, encoding="utf-8") as handle:
+        return ArgusConfig.from_dict(json.load(handle))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve
+
+    try:
+        config = _load_config_json(args.config_json)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    serve(config=config, host=args.host, port=args.port, time_scale=args.time_scale)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    scenario = _lookup(args)
+    if scenario is None:
+        return 2
+    from repro.gateway.loadgen import replay
+
+    try:
+        config = _load_config_json(args.config_json)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = replay(
+        scenario,
+        preset=args.preset,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        url=args.url,
+        config=config,
+        check_contracts=args.check_contracts,
+        max_minutes=args.max_minutes,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not args.quiet:
+        summary = result.report["summary"]
+        print(
+            f"loadgen scenario={result.scenario} preset={result.preset} "
+            f"seed={result.seed} time_scale={args.time_scale:g}"
+        )
+        print(f"  {'requests_sent':<22}{result.requests_sent}")
+        print(f"  {'requests_ok':<22}{result.requests_ok}")
+        print(f"  {'requests_dropped':<22}{result.requests_dropped}")
+        for key in ("total_completions", "slo_violation_ratio", "p99_latency_s"):
+            if key in summary:
+                print(f"  {key:<22}{summary[key]}")
+        if args.output:
+            print(f"  report written to {args.output}")
+    if args.check_contracts:
+        failed = violations(result.contract_results)
+        stream = sys.stderr if failed else sys.stdout
+        if not args.quiet or failed:
+            print(f"contracts ({result.scenario}, live):", file=stream)
+            for contract_result in result.contract_results:
+                print(f"  {contract_result}", file=stream)
+        if failed:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -198,6 +283,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the summary printout")
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = commands.add_parser("serve", help="start the live HTTP gateway")
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--time-scale", type=float, default=1.0, dest="time_scale",
+        help="model-seconds per wall-second (60 = one model-minute per second)",
+    )
+    serve_parser.add_argument(
+        "--config-json", default=None, dest="config_json",
+        help="ArgusConfig JSON file (shape of GET /config)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="replay a scenario's request stream against a live gateway"
+    )
+    loadgen.add_argument("scenario", help="scenario name (see 'list')")
+    loadgen.add_argument("--preset", default="small", help="preset name (default: small)")
+    loadgen.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    loadgen.add_argument(
+        "--time-scale", type=float, default=60.0, dest="time_scale",
+        help="replay compression: model-seconds per wall-second (default: 60)",
+    )
+    loadgen.add_argument(
+        "--url", default=None,
+        help="external gateway URL; default starts an in-process loopback gateway",
+    )
+    loadgen.add_argument(
+        "--max-minutes", type=float, default=None, dest="max_minutes",
+        help="truncate the stream after N scenario-minutes",
+    )
+    loadgen.add_argument(
+        "--config-json", default=None, dest="config_json",
+        help="ArgusConfig JSON overriding the scenario-derived config "
+        "(in-process gateway only)",
+    )
+    loadgen.add_argument("--output", default=None, help="write the live JSON report here")
+    loadgen.add_argument(
+        "--check-contracts", action="store_true", dest="check_contracts",
+        help="verify the scenario's invariant contracts against the live report; "
+        "exit 1 on any violation",
+    )
+    loadgen.add_argument("--quiet", action="store_true", help="suppress the summary printout")
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -137,15 +137,24 @@ def _check_cache_quota(contract: str, report: dict, param: float | None) -> Cont
     cache_tenants = report.get("extras", {}).get("cache_tenants")
     if not cache_tenants:
         return _vacuous(contract, "report carries no per-tenant cache accounting")
-    over = {
-        name: (row["entries"], row["quota"])
-        for name, row in cache_tenants.items()
-        if row["quota"] is not None and row["entries"] > row["quota"]
-    }
+    over: dict[str, tuple[int, int]] = {}
+    bounded = 0
+    for name, row in cache_tenants.items():
+        quota = row["quota"]
+        # Sharded merges carry one entry count per shard (each shard's cache
+        # enforces the quota independently); sequential and live reports
+        # carry a single "entries" count.
+        counts = row.get("shards") or {"": row["entries"]}
+        if quota is None:
+            continue
+        bounded += 1
+        for shard, entries in counts.items():
+            if entries > quota:
+                label = f"{name}@shard{shard}" if shard else name
+                over[label] = (entries, quota)
     if over:
         return _fail(contract, f"namespaces over quota: {over}")
-    quotas = sum(1 for row in cache_tenants.values() if row["quota"] is not None)
-    return _ok(contract, f"{len(cache_tenants)} namespaces within quota ({quotas} bounded)")
+    return _ok(contract, f"{len(cache_tenants)} namespaces within quota ({bounded} bounded)")
 
 
 def _check_fleet_budget(contract: str, report: dict, param: float | None) -> ContractResult:

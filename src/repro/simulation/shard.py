@@ -643,6 +643,15 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
                     "max_wait_s": stats.max_wait_s,
                     "stolen": stats.stolen,
                 }
+        if serving.cache is not None:
+            # Per-shard quota accounting: each shard's cache enforces the
+            # tenant quota independently, so the merged cache-quota contract
+            # checks every shard's entry count against the quota.
+            for tenant_spec in serving.config.tenants:
+                tenant_extras.setdefault(tenant_spec.name, {})["cache"] = {
+                    "entries": serving.cache.tenant_entries(tenant_spec.name),
+                    "quota": tenant_spec.cache_quota,
+                }
     return messages.ShardResult(
         shard_id=spec.shard_id,
         system_name=serving.name,
@@ -1190,6 +1199,23 @@ def run_scenario_sharded(
     if has_cache:
         extras["retrieval_hit_rate"] = _ratio(retrieval_hits, retrieval_attempts)
         extras["retrieval_attempts"] = retrieval_attempts
+        if config.tenants:
+            # One entry count per shard under "shards" (instead of the
+            # sequential report's single "entries") — quotas are enforced
+            # per shard cache, so that is the granularity the cache-quota
+            # contract must check.
+            cache_tenants: dict = {}
+            for result in results:
+                for name, entry in result.tenant_extras.items():
+                    cache = entry.get("cache")
+                    if cache is None:
+                        continue
+                    row = cache_tenants.setdefault(
+                        name, {"quota": cache["quota"], "shards": {}}
+                    )
+                    row["shards"][str(result.shard_id)] = cache["entries"]
+            if cache_tenants:
+                extras["cache_tenants"] = cache_tenants
     switches = [r.extras.get("strategy_switches") for r in results]
     if any(s is not None for s in switches):
         extras["strategy_switches"] = sum(s or 0 for s in switches)

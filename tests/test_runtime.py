@@ -1,0 +1,157 @@
+"""Tests for the runtime abstraction layer (SimRuntime / WallClockRuntime)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime import Runtime, SimRuntime, WallClockRuntime, as_runtime
+from repro.scenarios import run_scenario
+from repro.simulation.engine import SimulationEngine
+
+
+# --------------------------------------------------------------------- #
+# SimRuntime: scheduling semantics over the event heap
+# --------------------------------------------------------------------- #
+
+
+def test_sim_runtime_now_tracks_engine():
+    engine = SimulationEngine()
+    runtime = SimRuntime(engine)
+    assert runtime.now() == 0.0
+    engine.schedule_in(5.0, lambda _e: None)
+    engine.run()
+    assert runtime.now() == 5.0
+
+
+def test_sim_runtime_schedule_in_and_at():
+    engine = SimulationEngine()
+    runtime = SimRuntime(engine)
+    fired: list[tuple[str, float]] = []
+    runtime.schedule_in(2.0, lambda: fired.append(("in", engine.now)))
+    runtime.schedule_at(1.0, lambda: fired.append(("at", engine.now)))
+    engine.run()
+    assert fired == [("at", 1.0), ("in", 2.0)]
+
+
+def test_sim_runtime_schedule_every_matches_engine_schedule_every():
+    """The runtime's repeating chain fires at the same times, in the same
+    callback-before-reschedule order, as ``engine.schedule_every``."""
+    direct = SimulationEngine()
+    direct_times: list[float] = []
+    direct.schedule_every(3.0, lambda e: direct_times.append(e.now))
+    direct.run(until=14.0)
+
+    via_runtime = SimulationEngine()
+    runtime = SimRuntime(via_runtime)
+    runtime_times: list[float] = []
+    runtime.schedule_every(3.0, lambda: runtime_times.append(via_runtime.now))
+    via_runtime.run(until=14.0)
+
+    assert runtime_times == direct_times
+    assert runtime_times[0] == 3.0
+
+
+def test_sim_runtime_schedule_every_cancel_stops_ticks():
+    engine = SimulationEngine()
+    runtime = SimRuntime(engine)
+    ticks: list[float] = []
+    task = runtime.schedule_every(1.0, lambda: ticks.append(engine.now))
+
+    def stop(_engine):
+        task.cancel()
+
+    engine.schedule_in(3.5, stop)
+    engine.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_sim_runtime_sleep_is_unsupported():
+    runtime = SimRuntime(SimulationEngine())
+    with pytest.raises(NotImplementedError):
+        asyncio.run(runtime.sleep(1.0))
+
+
+def test_as_runtime_coercion():
+    engine = SimulationEngine()
+    runtime = as_runtime(engine)
+    assert isinstance(runtime, SimRuntime)
+    assert as_runtime(runtime) is runtime
+    assert isinstance(runtime, Runtime)
+    with pytest.raises(TypeError):
+        as_runtime(object())
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity: the runtime veneer must not perturb simulation results
+# --------------------------------------------------------------------- #
+
+
+def test_sim_runtime_keeps_scenario_bits_stable():
+    """Two runs of the same scenario through the runtime-threaded control
+    plane produce byte-identical reports (the heap order is unchanged)."""
+    first = run_scenario("steady-baseline", preset="small").report().to_json()
+    second = run_scenario("steady-baseline", preset="small").report().to_json()
+    assert first == second
+    assert '"total_completions"' in first
+
+
+# --------------------------------------------------------------------- #
+# WallClockRuntime
+# --------------------------------------------------------------------- #
+
+
+def test_wall_runtime_requires_start():
+    runtime = WallClockRuntime()
+    with pytest.raises(RuntimeError):
+        runtime.now()
+
+
+def test_wall_runtime_time_scale_compresses_model_time():
+    async def scenario():
+        runtime = WallClockRuntime(time_scale=100.0)
+        runtime.start()
+        await runtime.sleep(1.0)  # one model-second = 10ms wall
+        return runtime.now()
+
+    elapsed_model = asyncio.run(scenario())
+    assert elapsed_model >= 1.0
+    assert elapsed_model < 50.0  # would be >=100 if sleep ran in wall seconds
+
+
+def test_wall_runtime_schedule_in_and_cancel():
+    async def scenario():
+        runtime = WallClockRuntime(time_scale=50.0)
+        runtime.start()
+        fired: list[str] = []
+        runtime.schedule_in(0.5, lambda: fired.append("kept"))
+        cancelled = runtime.schedule_in(0.5, lambda: fired.append("cancelled"))
+        cancelled.cancel()
+        await runtime.sleep(2.0)
+        return fired
+
+    assert asyncio.run(scenario()) == ["kept"]
+
+
+def test_wall_runtime_schedule_every_ticks_and_cancels():
+    async def scenario():
+        runtime = WallClockRuntime(time_scale=100.0)
+        runtime.start()
+        ticks: list[float] = []
+        task = runtime.schedule_every(1.0, lambda: ticks.append(runtime.now()))
+        await runtime.sleep(3.5)
+        task.cancel()
+        count_at_cancel = len(ticks)
+        await runtime.sleep(3.0)
+        return ticks, count_at_cancel
+
+    ticks, count_at_cancel = asyncio.run(scenario())
+    assert len(ticks) >= 2
+    assert len(ticks) == count_at_cancel  # no ticks after cancel
+    assert ticks[0] == pytest.approx(1.0, abs=0.5)
+
+
+def test_wall_runtime_rejects_bad_time_scale():
+    with pytest.raises(ValueError):
+        WallClockRuntime(time_scale=0.0)
