@@ -1,0 +1,225 @@
+"""Cache-tier search benchmark: sharded fan-out vs a single flat index.
+
+Builds one corpus of unit embeddings, loads it twice — into an N-node
+:class:`~repro.cache.tier.CacheTier` (consistent-hash placement, per-node
+bucket-contiguous coarse-quantised indexes) and into one flat contiguous
+matrix scanned by brute force (the seed tree's single-index search, at its
+numpy-optimal best) — and times the same query stream through both.
+
+The headline claim is the fan-out speedup at >= 400k entries (the ``full``
+preset): the tier must answer >= 4x faster than the flat scan while agreeing
+with it on the nearest stored entry.  Correctness is gated, not sampled:
+
+* every near-duplicate query (the cache's actual workload — re-served
+  prompts query their own stored embedding) must return the same key as
+  the flat argmax at >= ``AGREEMENT_FLOOR`` rate, and
+* every novel query must reach the same hit/miss outcome as the flat scan
+  at the cache's similarity threshold: below it, *which* sub-threshold
+  neighbour a probe surfaces is irrelevant — both paths miss — so coarse
+  quantisation is only a defect when it flips an outcome.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/perf/run_cache_tier.py \
+        --preset full --output BENCH_PR10.json     # the checked-in run
+    PYTHONPATH=src:. python benchmarks/perf/run_cache_tier.py \
+        --preset small --output BENCH_cache_ci.json  # CI smoke (seconds)
+
+Exits non-zero when a correctness check fails, or when the ``full`` preset
+misses the 4x headline; ``check_regression.py`` gates the ``small`` ratio
+against the checked-in baseline with its standard tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.cache.tier import CacheTier
+
+PRESETS = {
+    "small": {"entries": 60_000, "queries": 400},
+    "full": {"entries": 400_000, "queries": 1_000},
+}
+
+#: Near-duplicate queries must agree with the flat argmax at least this often.
+AGREEMENT_FLOOR = 0.98
+#: The PR's headline: fan-out search at the full corpus size vs flat scan.
+HEADLINE_SPEEDUP = 4.0
+
+DIM = 64
+SHARDS = 8
+REPEATS = 3
+
+
+def _unit(rows: np.ndarray) -> np.ndarray:
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def _build_corpus(entries: int, seed: int) -> tuple[list[str], np.ndarray]:
+    rng = np.random.default_rng(seed)
+    vectors = _unit(rng.normal(size=(entries, DIM)))
+    keys = [f"p{i}" for i in range(entries)]
+    return keys, vectors
+
+
+def _build_queries(
+    vectors: np.ndarray, count: int, seed: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(near-duplicate queries, their target rows, novel queries)."""
+    rng = np.random.default_rng(seed + 1)
+    targets = rng.integers(0, len(vectors), size=count)
+    near = _unit(vectors[targets] + 0.01 * rng.normal(size=(count, DIM)))
+    novel = _unit(rng.normal(size=(count // 4, DIM)))
+    return near, targets, novel
+
+
+def _time_flat(matrix: np.ndarray, queries: np.ndarray) -> tuple[float, list[int]]:
+    best = None
+    elapsed = float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        start = time.perf_counter()
+        hits = [int(np.argmax(matrix @ q)) for q in queries]
+        elapsed = min(elapsed, time.perf_counter() - start)
+        best = hits
+    return elapsed, best
+
+
+def _time_tier(tier: CacheTier, queries: np.ndarray) -> tuple[float, list[tuple]]:
+    best = None
+    elapsed = float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        start = time.perf_counter()
+        hits = [tier.fanout_search(q, top_k=1) for q in queries]
+        elapsed = min(elapsed, time.perf_counter() - start)
+        best = hits
+    return elapsed, best
+
+
+def run_benchmark(preset: str, seed: int) -> dict:
+    spec = PRESETS[preset]
+    entries, query_count = spec["entries"], spec["queries"]
+
+    print(f"[cache_tier_search] building {entries} entries ...", flush=True)
+    keys, vectors = _build_corpus(entries, seed)
+    near, targets, novel = _build_queries(vectors, query_count, seed)
+
+    build_start = time.perf_counter()
+    tier = CacheTier(shards=SHARDS, replication=0, seed=seed)
+    tier.bulk_load(keys, vectors)
+    build_s = time.perf_counter() - build_start
+    stats = tier.tier_stats()
+    assert stats["entries"] == entries
+
+    all_queries = np.concatenate([near, novel])
+    print(
+        f"[cache_tier_search] timing {len(all_queries)} queries "
+        f"(flat scan vs {SHARDS}-shard fan-out, best of {REPEATS}) ...",
+        flush=True,
+    )
+    flat_s, flat_hits = _time_flat(vectors, all_queries)
+    tier_s, tier_hits = _time_tier(tier, all_queries)
+
+    failures: list[str] = []
+    agree = sum(
+        1
+        for i in range(len(near))
+        if tier_hits[i] and tier_hits[i][0][0] == f":p{flat_hits[i]}"
+    )
+    agreement = agree / len(near)
+    if agreement < AGREEMENT_FLOOR:
+        failures.append(
+            f"near-duplicate agreement {agreement:.4f} below {AGREEMENT_FLOOR}"
+        )
+    threshold = tier.similarity_threshold
+    recall_gap = 0.0
+    outcome_flips = 0
+    for offset in range(len(novel)):
+        i = len(near) + offset
+        flat_sim = float(vectors[flat_hits[i]] @ all_queries[i])
+        tier_sim = tier_hits[i][0][1] if tier_hits[i] else -1.0
+        recall_gap = max(recall_gap, flat_sim - tier_sim)
+        if (flat_sim >= threshold) != (tier_sim >= threshold):
+            outcome_flips += 1
+    if outcome_flips:
+        failures.append(
+            f"{outcome_flips} novel queries flipped hit/miss vs the flat scan"
+        )
+    # Placement sanity: consistent hashing must spread primaries evenly
+    # enough that no node degenerates back towards the flat scan.
+    loads = [row["entries"] for row in stats["per_shard"].values()]
+    if max(loads) > 2.5 * entries / SHARDS:
+        failures.append(f"ring imbalance: heaviest shard holds {max(loads)} entries")
+
+    speedup = flat_s / tier_s
+    print(
+        f"[cache_tier_search] flat {flat_s:.3f}s vs tier {tier_s:.3f}s "
+        f"= {speedup:.2f}x (agreement {agreement:.4f}, "
+        f"recall gap {recall_gap:.4f})",
+        flush=True,
+    )
+    return {
+        "entries": entries,
+        "shards": SHARDS,
+        "dim": DIM,
+        "queries": int(len(all_queries)),
+        "build_s": build_s,
+        "flat_scan_s": flat_s,
+        "fanout_s": tier_s,
+        "per_query_flat_us": 1e6 * flat_s / len(all_queries),
+        "per_query_fanout_us": 1e6 * tier_s / len(all_queries),
+        "agreement": agreement,
+        "recall_gap": recall_gap,
+        "shard_loads": loads,
+        "checks_failed": failures,
+        "speedup": speedup,
+        "results_match": not failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="full")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_PR10.json")
+    args = parser.parse_args(argv)
+
+    bench = run_benchmark(args.preset, args.seed)
+    failures = list(bench["checks_failed"])
+    if args.preset == "full" and bench["speedup"] < HEADLINE_SPEEDUP:
+        failures.append(
+            f"full-preset speedup {bench['speedup']:.2f}x below the "
+            f"{HEADLINE_SPEEDUP}x headline"
+        )
+
+    payload = {
+        "meta": {
+            "pr": "PR10",
+            "preset": args.preset,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "benchmarks": {"cache_tier_search": bench},
+        "claims": {"cache_tier_search_speedup": bench["speedup"]},
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.output}")
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

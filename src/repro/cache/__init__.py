@@ -6,15 +6,52 @@ three external dependencies the paper identifies: the vector database used
 for similarity search, the blob store (EFS) holding the noise states, and
 the network between the GPU workers and both services — including the
 congestion and outage scenarios that trigger Argus's AC→SM switch.
+
+Two cache implementations share one surface: the in-process
+:class:`ApproximateCache` (one flat/HNSW index per tenant) and the
+distributed :class:`CacheTier` (consistent-hash sharded, replicated, with
+per-node network conditions).  :func:`build_cache` picks between them from
+config so every caller — workers, gateway interceptor, scenario runtime —
+stays a single code path.
 """
 
+from repro.cache.approximate import ApproximateCache, RetrievalOutcome
 from repro.cache.network import NetworkCondition, NetworkModel
 from repro.cache.store import NoiseStateStore, StoredState
-from repro.cache.vectordb import VectorDatabase, SearchResult
-from repro.cache.approximate import ApproximateCache, RetrievalOutcome
+from repro.cache.tier import CacheNode, CacheTier, HashRing
+from repro.cache.vectordb import SearchResult, VectorDatabase
+
+
+def build_cache(config, network=None, on_lookup=None):
+    """Build the cache implementation ``config`` asks for.
+
+    ``cache_shards=1`` with replication off constructs a plain
+    :class:`ApproximateCache` — not a one-node tier — so the default
+    configuration is bit-identical to the pre-tier behavior (the same
+    knob-gating discipline as heterogeneous fleets and HNSW).
+    """
+    if not config.cache_tier_enabled:
+        return ApproximateCache(network=network, tenants=config.tenants)
+    return CacheTier(
+        shards=config.cache_shards,
+        replication=config.cache_replication,
+        network=network,
+        vnodes=config.cache_node_vnodes,
+        clusters=config.cache_node_clusters,
+        nprobe=config.cache_node_nprobe,
+        replication_lag_s=config.cache_replication_lag_s,
+        hot_shard_threshold=config.cache_hot_shard_threshold,
+        tenants=config.tenants,
+        seed=config.seed,
+        on_lookup=on_lookup,
+    )
+
 
 __all__ = [
     "ApproximateCache",
+    "CacheNode",
+    "CacheTier",
+    "HashRing",
     "NetworkCondition",
     "NetworkModel",
     "NoiseStateStore",
@@ -22,4 +59,5 @@ __all__ = [
     "SearchResult",
     "StoredState",
     "VectorDatabase",
+    "build_cache",
 ]

@@ -274,13 +274,18 @@ class ApproximateCache:
         """Background network probe used by the strategy switcher."""
         return self.network.probe(now_s)
 
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of store lookups that hit (all namespaces combined)."""
+    def store_counts(self) -> tuple[int, int]:
+        """(hits, misses) over state-store lookups, all namespaces combined."""
         hits = self.store.stats.hits
         misses = self.store.stats.misses
         for namespace in self._namespaces.values():
             hits += namespace.store.stats.hits
             misses += namespace.store.stats.misses
+        return hits, misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of store lookups that hit (all namespaces combined)."""
+        hits, misses = self.store_counts()
         total = hits + misses
         return hits / total if total else 0.0

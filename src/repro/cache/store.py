@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.simulation.randomness import stable_hash
+
 
 @dataclass(frozen=True)
 class StoredState:
@@ -20,6 +22,16 @@ class StoredState:
     #: Denoising steps at which checkpoints were saved for this prompt.
     available_steps: tuple[int, ...]
     size_kib_per_step: float = 144.0
+
+    def checksum(self) -> int:
+        """Content checksum over the fields a corruption would damage.
+
+        Computed at write time and re-verified on retrieval by the cache
+        tier: an entry whose stored checksum no longer matches its content
+        is poisoned and must not be served.
+        """
+        payload = f"{self.prompt_id}|{self.prompt_text}|{self.available_steps}"
+        return stable_hash(f"noise-state:{payload}")
 
     @property
     def total_size_kib(self) -> float:

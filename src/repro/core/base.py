@@ -13,7 +13,7 @@ import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.cache.approximate import ApproximateCache
+from repro.cache import build_cache
 from repro.cache.network import NetworkModel
 from repro.cluster.cluster import GpuCluster
 from repro.cluster.requests import CompletedRequest, Request
@@ -68,7 +68,11 @@ class BaseServingSystem(ABC):
         )
         self.network = network or NetworkModel(seed=self.config.seed + 1)
         self.cache = (
-            ApproximateCache(network=self.network, tenants=self.config.tenants)
+            build_cache(
+                self.config,
+                network=self.network,
+                on_lookup=self._record_cache_lookup,
+            )
             if use_cache
             else None
         )
@@ -114,6 +118,10 @@ class BaseServingSystem(ABC):
             )
         self._request_ids = itertools.count()
         self._started = False
+
+    def _record_cache_lookup(self, shard: int, hit: bool, latency_s: float) -> None:
+        """Cache-tier per-shard accounting hook (fires once per retrieval)."""
+        self.collector.record_cache_lookup(shard, hit, latency_s)
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses

@@ -40,11 +40,33 @@ class WorkerSelector:
     disabled the estimate reduces to ``outstanding * level.latency_s``.
     """
 
-    def select(self, candidates: list[Worker]) -> Worker:
-        """Worker with the smallest expected completion time for a new request."""
+    def select(
+        self,
+        candidates: list[Worker],
+        prefer=None,
+        tolerance_s: float = 0.0,
+    ) -> Worker:
+        """Worker with the smallest expected completion time for a new request.
+
+        ``prefer`` (a ``worker_id -> bool`` predicate) marks workers placed
+        near the cache shard the request is likely to hit; the cheapest
+        preferred worker wins as long as its backlog is within
+        ``tolerance_s`` of the global minimum.  Locality never overrides a
+        real load imbalance — past the tolerance the plain Eq. 3 choice
+        stands.
+        """
         if not candidates:
             raise ValueError("no candidate workers")
-        return min(candidates, key=lambda w: (w.estimated_backlog_s(), w.worker_id))
+        best = min(candidates, key=lambda w: (w.estimated_backlog_s(), w.worker_id))
+        if prefer is None:
+            return best
+        preferred = [w for w in candidates if prefer(w.worker_id)]
+        if not preferred:
+            return best
+        near = min(preferred, key=lambda w: (w.estimated_backlog_s(), w.worker_id))
+        if near.estimated_backlog_s() <= best.estimated_backlog_s() + tolerance_s:
+            return near
+        return best
 
 
 class PromptScheduler:
@@ -82,6 +104,14 @@ class PromptScheduler:
         #: Requests served above a tenant's contracted level because no
         #: worker at an allowed level was healthy (capacity emergencies).
         self.floor_breaches = 0
+        #: Shard-aware routing: ``(prompt, worker_id) -> bool`` marking
+        #: workers near the cache shard likely to hit (installed when the
+        #: distributed cache tier is on; None keeps routing byte-identical
+        #: to the affinity-free scheduler).
+        self._cache_affinity = None
+        self._cache_affinity_tolerance_s = 0.0
+        #: Routed requests that landed on a shard-preferred worker.
+        self.affinity_routed = 0
 
     # ------------------------------------------------------------------ #
     # Configuration (updated by the Allocator / strategy switcher)
@@ -116,6 +146,21 @@ class PromptScheduler:
                 )
         # Re-derive tenant maps against the current base map.
         self.set_shift_map(self._shift_map)
+
+    def set_cache_affinity(self, prefers, tolerance_s: float) -> None:
+        """Install shard-aware routing against the distributed cache tier.
+
+        ``prefers(prompt, worker_id)`` says whether a worker sits near the
+        shard the prompt's retrieval will land on; ``tolerance_s`` bounds
+        how much extra backlog locality may cost.  ``None`` (or a zero
+        tolerance) uninstalls the preference.
+        """
+        if prefers is None or tolerance_s <= 0:
+            self._cache_affinity = None
+            self._cache_affinity_tolerance_s = 0.0
+            return
+        self._cache_affinity = prefers
+        self._cache_affinity_tolerance_s = float(tolerance_s)
 
     def set_strategy(self, strategy: Strategy) -> None:
         """Record the active approximation strategy."""
@@ -165,10 +210,16 @@ class PromptScheduler:
         assigned = shift_map.sample_target(predicted, self.rng)
         if max_rank is not None and assigned > max_rank:
             assigned = max_rank
-        worker = self._find_worker(assigned, max_rank=max_rank)
+        prefer = None
+        if self._cache_affinity is not None:
+            affinity = self._cache_affinity
+            prefer = lambda worker_id: affinity(prompt, worker_id)  # noqa: E731
+        worker = self._find_worker(assigned, max_rank=max_rank, prefer=prefer)
         if worker is None:
             return None
         worker = self._protect_slo(worker, budget_s=budget_s, max_rank=max_rank)
+        if prefer is not None and prefer(worker.worker_id):
+            self.affinity_routed += 1
         self.routed_requests += 1
         if worker.level.rank != predicted:
             self.shifted_requests += 1
@@ -194,7 +245,9 @@ class PromptScheduler:
         allowed = [w for w in healthy if w.level.rank <= max_rank]
         return allowed or healthy
 
-    def _find_worker(self, target_rank: int, max_rank: int | None = None) -> Worker | None:
+    def _find_worker(
+        self, target_rank: int, max_rank: int | None = None, prefer=None
+    ) -> Worker | None:
         """Worker at the target rank, or the nearest rank with healthy workers.
 
         Nearest is measured in rank distance with preference for slower
@@ -205,15 +258,16 @@ class PromptScheduler:
         healthy = self._eligible_workers(max_rank)
         if not healthy:
             return None
+        tolerance = self._cache_affinity_tolerance_s
         exact = [w for w in healthy if w.level.rank == target_rank]
         if exact:
-            return self.selector.select(exact)
+            return self.selector.select(exact, prefer=prefer, tolerance_s=tolerance)
         by_distance = sorted(
             healthy, key=lambda w: (abs(w.level.rank - target_rank), w.level.rank)
         )
         nearest_rank = by_distance[0].level.rank
         candidates = [w for w in healthy if w.level.rank == nearest_rank]
-        return self.selector.select(candidates)
+        return self.selector.select(candidates, prefer=prefer, tolerance_s=tolerance)
 
     def _protect_slo(
         self,

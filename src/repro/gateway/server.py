@@ -32,7 +32,7 @@ from dataclasses import replace
 from typing import Mapping
 from urllib.parse import parse_qs
 
-from repro.cache.approximate import ApproximateCache
+from repro.cache import build_cache
 from repro.cache.network import NetworkModel
 from repro.classifier.drift import DriftDetector
 from repro.cluster.requests import CompletedRequest, Request
@@ -121,7 +121,9 @@ class Gateway:
             num_levels=self.zoo.num_levels(Strategy.AC), seed=self.config.seed
         )
         self.network = NetworkModel(seed=self.config.seed + 1)
-        self.cache = ApproximateCache(network=self.network, tenants=self.config.tenants)
+        self.cache = build_cache(
+            self.config, network=self.network, on_lookup=self._record_cache_lookup
+        )
         self.tenant_runtimes = build_runtimes(self.config.tenants, self.config.slo)
         self.collector = MetricsCollector(
             slo=self.config.slo, retain_completed=self.config.retain_completed
@@ -170,10 +172,28 @@ class Gateway:
             cache_lookup(self._profile),
         ]
 
+    def _record_cache_lookup(self, shard: int, hit: bool, latency_s: float) -> None:
+        self.collector.record_cache_lookup(shard, hit, latency_s)
+
     def _pick_worker(self, ctx: RequestContext) -> int | None:
         if not self.workers:
             return None
-        return least_backlog_worker(self.workers).worker_id
+        best = least_backlog_worker(self.workers)
+        tolerance = self.config.cache_affinity_tolerance_s
+        if tolerance > 0 and hasattr(self.cache, "worker_prefers"):
+            # Shard-aware routing, same rule as the simulator's scheduler:
+            # the cheapest worker near the likely-hit cache shard wins when
+            # its backlog is within the tolerance of the global minimum.
+            preferred = [
+                w
+                for w in self.workers
+                if self.cache.worker_prefers(ctx.prompt, w.worker_id)
+            ]
+            if preferred:
+                near = least_backlog_worker(preferred)
+                if near.estimated_backlog_s() <= best.estimated_backlog_s() + tolerance:
+                    return near.worker_id
+        return best.worker_id
 
     def _profile(self, ctx: RequestContext) -> None:
         """Cache retrieval + latency model: the stub analogue of
@@ -383,6 +403,8 @@ class Gateway:
             "retrieval_attempts": self.cache.retrieval_attempts,
             "drift_events": self.drift_events,
         }
+        if hasattr(self.cache, "tier_stats"):
+            extras["cache_tier"] = self.cache.tier_stats()
         if self.config.tenants:
             extras["cache_tenants"] = {
                 spec.name: {

@@ -194,6 +194,10 @@ class MetricsCollector:
         self._tenant_col = _Column(dtype=np.int32)
         self._tenant_arrivals: dict[str, int] = defaultdict(int)
         self._tenant_drops: dict[str, int] = defaultdict(int)
+        #: Cache-tier per-shard accounting: shard id -> [lookups, hits,
+        #: total latency].  Empty unless a distributed cache tier feeds
+        #: :meth:`record_cache_lookup` (the flat cache records nothing).
+        self._cache_shards: dict[int, list[float]] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -214,6 +218,27 @@ class MetricsCollector:
         """Record a request the system could not serve at all."""
         self.dropped_requests += 1
         self._tenant_drops[tenant] += 1
+
+    def record_cache_lookup(self, shard: int, hit: bool, latency_s: float) -> None:
+        """Record one cache-tier retrieval against its answering shard."""
+        counters = self._cache_shards.get(shard)
+        if counters is None:
+            counters = self._cache_shards[shard] = [0, 0, 0.0]
+        counters[0] += 1
+        if hit:
+            counters[1] += 1
+        counters[2] += latency_s
+
+    def cache_shard_stats(self) -> dict[str, dict[str, float]]:
+        """Per-shard cache traffic: shard -> lookups / hits / mean latency."""
+        return {
+            str(shard): {
+                "lookups": int(lookups),
+                "hits": int(hits),
+                "mean_latency_s": (latency / lookups) if lookups else 0.0,
+            }
+            for shard, (lookups, hits, latency) in sorted(self._cache_shards.items())
+        }
 
     def record_completion(
         self, completed: CompletedRequest, pickscore: float, best_pickscore: float
@@ -269,6 +294,7 @@ class MetricsCollector:
             "dropped_requests": int(self.dropped_requests),
             "tenant_arrivals": dict(self._tenant_arrivals),
             "tenant_drops": dict(self._tenant_drops),
+            "cache_shards": {int(s): list(c) for s, c in self._cache_shards.items()},
         }
 
     def absorb_state(self, state: dict) -> None:
@@ -309,6 +335,13 @@ class MetricsCollector:
             self._tenant_arrivals[tenant] += count
         for tenant, count in state["tenant_drops"].items():
             self._tenant_drops[tenant] += count
+        for shard, (lookups, hits, latency) in state.get("cache_shards", {}).items():
+            counters = self._cache_shards.get(shard)
+            if counters is None:
+                counters = self._cache_shards[shard] = [0, 0, 0.0]
+            counters[0] += lookups
+            counters[1] += hits
+            counters[2] += latency
 
     # ------------------------------------------------------------------ #
     # Sample access (compatibility view)

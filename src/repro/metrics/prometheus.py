@@ -130,6 +130,27 @@ def render_prometheus(
             "Requests served, by tenant.",
             [({"tenant": name}, stats["completions"]) for name, stats in per_tenant],
         )
+    cache_shards = collector.cache_shard_stats()
+    if cache_shards:
+        rows = list(cache_shards.items())
+        lines.family(
+            "cache_shard_lookups_total",
+            "counter",
+            "Cache-tier retrievals answered, by shard.",
+            [({"shard": shard}, stats["lookups"]) for shard, stats in rows],
+        )
+        lines.family(
+            "cache_shard_hits_total",
+            "counter",
+            "Cache-tier retrievals that hit, by shard.",
+            [({"shard": shard}, stats["hits"]) for shard, stats in rows],
+        )
+        lines.family(
+            "cache_shard_latency_seconds_mean",
+            "gauge",
+            "Mean cache-tier retrieval latency, by answering shard.",
+            [({"shard": shard}, stats["mean_latency_s"]) for shard, stats in rows],
+        )
     if extra_gauges:
         for key in sorted(extra_gauges):
             lines.family(

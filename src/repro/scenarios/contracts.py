@@ -31,6 +31,14 @@ Vocabulary (``Scenario.contracts`` entries; ``fairness`` takes an optional
   at every non-epoch barrier, and stays inside the global budget at all
   barriers.  (Epoch barriers record the post-grant ledger against the
   pre-apply fleet, so only the bounds apply there.)
+- ``cache-tier`` — the distributed cache tier's per-shard accounting is
+  conserved: shard lookups never exceed retrieval attempts, shard hits
+  equal the retrieval hits, and the per-shard entry counts sum to the
+  tier's total.
+- ``cache-poison:BOUND`` — at most ``BOUND`` poisoned entries were ever
+  *served* (default 0: the retrieval-path checksum must catch every
+  corrupted entry), and every poisoned entry is either still stored or
+  was detected and dropped.
 
 A contract whose inputs are absent from the report (e.g. ``fairness`` on
 a single-tenant run, ``ledger-matches-fleet`` sequentially) passes
@@ -166,9 +174,25 @@ def _check_fleet_budget(contract: str, report: dict, param: float | None) -> Con
     low, high = budget["min_workers"], budget["max_workers"]
     problems: list[str] = []
     peak = report["summary"]["fleet_peak_workers"]
-    # A sharded merge sums per-shard peaks, which need not be simultaneous;
-    # the global bound only applies to the sequential (single-clock) peak.
-    if not sharded and peak > high:
+    if sharded:
+        # A sharded merge sums per-shard peaks, which need not be
+        # simultaneous; the global bound applies to the barrier-aligned
+        # fleet samples the shard merge emits (global in-fleet counts
+        # observed at each synchronized barrier).
+        sharding = extras["sharding"]
+        aligned = sharding.get("fleet_peak_barrier_aligned")
+        if aligned is None:
+            samples = [
+                entry["in_fleet"]
+                for entry in sharding.get("barriers", ())
+                if "in_fleet" in entry
+            ]
+            aligned = max(samples) if samples else None
+        if aligned is not None:
+            peak = aligned
+            if aligned > high:
+                problems.append(f"barrier-aligned fleet peak {aligned} > max {high}")
+    elif peak > high:
         problems.append(f"fleet peak {peak} > max {high}")
     for row in report.get("minutes", ()):
         if row["fleet_workers"] > high + 1e-6:
@@ -220,6 +244,59 @@ def _check_ledger_matches_fleet(
     return _ok(contract, f"ledger matched the live fleet at {checked} barriers")
 
 
+def _check_cache_tier(contract: str, report: dict, param: float | None) -> ContractResult:
+    extras = report.get("extras", {})
+    tier = extras.get("cache_tier")
+    if tier is None:
+        return _vacuous(contract, "report carries no cache-tier accounting")
+    attempts = extras.get("retrieval_attempts") or 0
+    hit_rate = extras.get("retrieval_hit_rate") or 0.0
+    per_shard = tier.get("per_shard", {})
+    lookups = sum(row["lookups"] for row in per_shard.values())
+    hits = sum(row["hits"] for row in per_shard.values())
+    problems: list[str] = []
+    if lookups > attempts:
+        problems.append(f"shard lookups {lookups} exceed retrieval attempts {attempts}")
+    # Retrieval hits are attributed to exactly one answering shard each.
+    expected_hits = hit_rate * attempts
+    if abs(hits - expected_hits) > 0.5:
+        problems.append(
+            f"shard hits {hits} != retrieval hits {expected_hits:.1f}"
+        )
+    live_entries = sum(
+        row["entries"] for row in per_shard.values() if row.get("live", True)
+    )
+    if live_entries != tier.get("entries", live_entries):
+        problems.append(
+            f"per-shard entries {live_entries} != tier total {tier['entries']}"
+        )
+    if problems:
+        return _fail(contract, "; ".join(problems))
+    return _ok(
+        contract,
+        f"{tier.get('shards')} shards, {lookups} lookups / {hits} hits conserved,"
+        f" {live_entries} entries placed",
+    )
+
+
+def _check_cache_poison(contract: str, report: dict, param: float | None) -> ContractResult:
+    bound = 0 if param is None else int(param)
+    poison = report.get("extras", {}).get("cache_tier", {}).get("poison")
+    if poison is None:
+        return _vacuous(contract, "report carries no cache-tier poison accounting")
+    if poison["entries_poisoned"] == 0:
+        return _vacuous(contract, "no entries were poisoned during the run")
+    detail = (
+        f"{poison['entries_poisoned']} poisoned, {poison['detected']} detected,"
+        f" {poison['served']} served (bound {bound})"
+    )
+    if poison["served"] > bound:
+        return _fail(contract, f"poisoned entries served: {detail}")
+    if poison["detected"] > poison["entries_poisoned"]:
+        return _fail(contract, f"detected more than were poisoned: {detail}")
+    return _ok(contract, detail)
+
+
 _CHECKS = {
     "conservation": _check_conservation,
     "fairness": _check_fairness,
@@ -227,10 +304,12 @@ _CHECKS = {
     "cache-quota": _check_cache_quota,
     "fleet-budget": _check_fleet_budget,
     "ledger-matches-fleet": _check_ledger_matches_fleet,
+    "cache-tier": _check_cache_tier,
+    "cache-poison": _check_cache_poison,
 }
 
 #: Contracts that accept a ``:value`` parameter.
-_PARAMETRIC = {"fairness", "slo-ordering"}
+_PARAMETRIC = {"fairness", "slo-ordering", "cache-poison"}
 
 
 def contract_names() -> list[str]:
@@ -255,6 +334,8 @@ def parse_contract(contract: str) -> tuple[str, float | None]:
         raise ValueError(f"contract {contract!r}: fairness bound must be in (0, 1]")
     if name == "slo-ordering" and value < 0.0:
         raise ValueError(f"contract {contract!r}: tolerance must be non-negative")
+    if name == "cache-poison" and value < 0.0:
+        raise ValueError(f"contract {contract!r}: served bound must be non-negative")
     return name, value
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.scenarios.contracts import validate_contracts
 from repro.scenarios.spec import (
+    CacheEvent,
     DriftPhase,
     FaultEvent,
     NetworkWindow,
@@ -880,6 +881,152 @@ register(
                 config=SMALL_FLEET,
             ),
             "full": Preset(dataset_size=5000, trace_params={"duration_minutes": 60}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="cache-node-failure",
+        description=(
+            "One cache node of a three-shard replicated tier goes dark "
+            "mid-run: lookups owned by the dead node must fail over to its "
+            "bounded-staleness replica, and the per-shard ledgers must still "
+            "reconcile with the gateway-visible hit counters when it returns."
+        ),
+        exercises=("cache tier", "node failure", "replica failover", "sharding"),
+        contracts=("conservation", "cache-tier"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 100.0}),
+        config={
+            "cache_shards": 3,
+            "cache_replication": 1,
+            "cache_replication_lag_s": 20.0,
+        },
+        network=(
+            NetworkWindow(
+                start_minute=15.0, end_minute=25.0, condition="outage", node=0
+            ),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 14, "qpm": 50.0},
+                config=SMALL_FLEET,
+                network=(
+                    NetworkWindow(
+                        start_minute=5.0, end_minute=9.0, condition="outage", node=0
+                    ),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 45}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="cache-shard-rebalance",
+        description=(
+            "A new cache node joins a loaded two-shard tier mid-run: the "
+            "consistent-hash ring reassigns a bounded slice of keys, entries "
+            "migrate in global insertion order, and retrieval must keep "
+            "hitting through the move with no entry lost or double-owned."
+        ),
+        exercises=("cache tier", "ring rebalance", "live migration", "sharding"),
+        contracts=("conservation", "cache-tier"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 110.0}),
+        config={
+            "cache_shards": 2,
+            "cache_replication": 1,
+        },
+        cache_events=(CacheEvent(at_minute=20.0, action="add_node"),),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 14, "qpm": 55.0},
+                config=SMALL_FLEET,
+                cache_events=(CacheEvent(at_minute=6.0, action="add_node"),),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 45}),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="cache-hot-shard",
+        description=(
+            "A flash crowd concentrates lookups on one shard of a "
+            "three-node, replication-2 tier: once the owner's fetch rate "
+            "crosses the hot-shard threshold, reads spill to bounded-stale "
+            "replicas and the replica-read ledger must absorb the crowd "
+            "without breaking shard accounting."
+        ),
+        exercises=("cache tier", "hot shard", "replica reads", "flash crowd"),
+        contracts=("conservation", "cache-tier"),
+        trace=TraceSpec(source="shape", name="flash-crowd"),
+        config={
+            "cache_shards": 3,
+            "cache_replication": 2,
+            "cache_hot_shard_threshold": 60,
+        },
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={
+                    "duration_minutes": 18,
+                    "base_qpm": 35.0,
+                    "spike_start_minute": 6,
+                    "spike_minutes": 5,
+                    "spike_multiplier": 3.0,
+                    "decay_minutes": 3,
+                },
+                config={**SMALL_FLEET, "cache_hot_shard_threshold": 10},
+            ),
+            "full": Preset(
+                dataset_size=3000,
+                trace_params={
+                    "duration_minutes": 60,
+                    "base_qpm": 70.0,
+                    "spike_start_minute": 20,
+                    "spike_minutes": 10,
+                    "spike_multiplier": 3.0,
+                },
+            ),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="chaos-cache-poison",
+        description=(
+            "A quarter of the stored cache entries are silently corrupted "
+            "mid-run: every poisoned entry must be caught by the checksum "
+            "recomputed on retrieval, deleted tier-wide, and served to no "
+            "request — the cache-poison:0 contract certifies zero corrupted "
+            "states ever reach a worker."
+        ),
+        exercises=("cache tier", "poisoning", "checksum detection", "chaos"),
+        contracts=("conservation", "cache-tier", "cache-poison:0"),
+        trace=TraceSpec(source="library", name="constant", params={"qpm": 100.0}),
+        config={
+            "cache_shards": 2,
+            "cache_replication": 1,
+        },
+        cache_events=(
+            CacheEvent(at_minute=20.0, action="poison", fraction=0.25, seed=7),
+        ),
+        presets={
+            "small": Preset(
+                dataset_size=700,
+                trace_params={"duration_minutes": 14, "qpm": 50.0},
+                config=SMALL_FLEET,
+                cache_events=(
+                    CacheEvent(at_minute=6.0, action="poison", fraction=0.25, seed=7),
+                ),
+            ),
+            "full": Preset(dataset_size=3000, trace_params={"duration_minutes": 45}),
         },
     )
 )

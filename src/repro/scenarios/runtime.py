@@ -183,11 +183,53 @@ def _apply_schedules(system: BaseServingSystem, scenario: Scenario, preset: Pres
                     worker_id, fail_at_s=event.fail_at_minute * 60.0, recover_at_s=recover_at
                 )
     for window in network:
+        if window.node is not None:
+            if system.cache is None or not hasattr(system.cache, "schedule_node_condition"):
+                raise ValueError(
+                    f"network window targets cache node {window.node}, but the run "
+                    "has no cache tier (set cache_shards >= 2 or cache_replication)"
+                )
+            system.cache.schedule_node_condition(
+                window.node,
+                window.start_minute * 60.0,
+                window.end_minute * 60.0,
+                NetworkCondition(window.condition),
+            )
+            continue
         system.network.schedule_condition(
             window.start_minute * 60.0,
             window.end_minute * 60.0,
             NetworkCondition(window.condition),
         )
+    cache_events = scenario.cache_schedule(preset)
+    if cache_events and (
+        system.cache is None or not hasattr(system.cache, "add_node")
+    ):
+        raise ValueError(
+            f"scenario {scenario.name!r} schedules cache events, but the run has "
+            "no cache tier (set cache_shards >= 2 or cache_replication)"
+        )
+    for event in cache_events:
+        at_s = event.at_minute * 60.0
+        cache = system.cache
+        if event.action == "add_node":
+            system.engine.schedule_at(
+                at_s,
+                lambda _e, c=cache: c.add_node(now_s=_e.now),
+                name="cache-add-node",
+            )
+        elif event.action == "remove_node":
+            system.engine.schedule_at(
+                at_s,
+                lambda _e, c=cache, node=event.node: c.remove_node(node, now_s=_e.now),
+                name=f"cache-remove-node-{event.node}",
+            )
+        else:  # poison
+            system.engine.schedule_at(
+                at_s,
+                lambda _e, c=cache, f=event.fraction, s=event.seed: c.poison(f, seed=s),
+                name="cache-poison",
+            )
 
 
 def _collect_extras(system: BaseServingSystem, result: ExperimentResult) -> dict:
@@ -207,6 +249,11 @@ def _collect_extras(system: BaseServingSystem, result: ExperimentResult) -> dict
     if system.cache is not None:
         extras["retrieval_hit_rate"] = system.cache.retrieval_hit_rate
         extras["retrieval_attempts"] = system.cache.retrieval_attempts
+        if hasattr(system.cache, "tier_stats"):
+            extras["cache_tier"] = system.cache.tier_stats()
+            scheduler = getattr(system, "scheduler", None)
+            if scheduler is not None and hasattr(scheduler, "affinity_routed"):
+                extras["cache_tier"]["affinity_routed"] = scheduler.affinity_routed
         if system.config.tenants:
             extras["cache_tenants"] = {
                 spec.name: {

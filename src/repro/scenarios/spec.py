@@ -129,16 +129,59 @@ class DriftPhase:
 
 @dataclass(frozen=True)
 class NetworkWindow:
-    """A scheduled cache-network condition over a window of the run."""
+    """A scheduled cache-network condition over a window of the run.
+
+    ``node`` targets one cache-tier node's own network model (requires a
+    run with ``cache_shards >= 2`` or replication on); ``None`` keeps the
+    global client-side condition every cache build understands.
+    """
 
     start_minute: float
     end_minute: float
     condition: str
+    node: int | None = None
 
     def __post_init__(self) -> None:
         if self.end_minute <= self.start_minute:
             raise ValueError("window end must be after start")
         NetworkCondition(self.condition)  # raises ValueError for unknown conditions
+        if self.node is not None and self.node < 0:
+            raise ValueError("node must be a non-negative cache-node id")
+
+
+#: What a scheduled cache-tier event may do.
+CACHE_EVENT_ACTIONS = ("add_node", "remove_node", "poison")
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One scheduled cache-tier control event.
+
+    ``add_node`` grows the ring (rebalancing the moved arcs),
+    ``remove_node`` retires node ``node``, and ``poison`` corrupts
+    ``fraction`` of stored entries in place (seeded, detectable only via
+    the retrieval-path checksum).  Only meaningful on runs whose config
+    enables the cache tier.
+    """
+
+    at_minute: float
+    action: str
+    node: int | None = None
+    fraction: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_minute < 0:
+            raise ValueError("at_minute must be non-negative")
+        if self.action not in CACHE_EVENT_ACTIONS:
+            raise ValueError(
+                f"unknown cache event action {self.action!r}; known: {CACHE_EVENT_ACTIONS}"
+            )
+        if self.action == "remove_node" and self.node is None:
+            raise ValueError("remove_node needs a node id")
+        if self.action == "poison":
+            if self.fraction is None or not 0.0 < self.fraction <= 1.0:
+                raise ValueError("poison needs a fraction in (0, 1]")
 
 
 def _validate_drift(phases: tuple[DriftPhase, ...]) -> None:
@@ -167,13 +210,14 @@ class Preset:
     faults: tuple[FaultEvent, ...] | None = None
     drift: tuple[DriftPhase, ...] | None = None
     network: tuple[NetworkWindow, ...] | None = None
+    cache_events: tuple[CacheEvent, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.dataset_size <= 0:
             raise ValueError("dataset_size must be positive")
         if self.drain_s < 0:
             raise ValueError("drain_s must be non-negative")
-        for name in ("faults", "drift", "network"):
+        for name in ("faults", "drift", "network", "cache_events"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, tuple(value))
@@ -198,6 +242,7 @@ class Scenario:
     faults: tuple[FaultEvent, ...] = ()
     drift: tuple[DriftPhase, ...] = ()
     network: tuple[NetworkWindow, ...] = ()
+    cache_events: tuple[CacheEvent, ...] = ()
     presets: dict[str, Preset] = field(default_factory=dict)
     default_seed: int = 0
     #: Invariant contracts verified against this scenario's report (names
@@ -214,6 +259,7 @@ class Scenario:
         object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(self, "drift", tuple(self.drift))
         object.__setattr__(self, "network", tuple(self.network))
+        object.__setattr__(self, "cache_events", tuple(self.cache_events))
         if "small" not in self.presets or "full" not in self.presets:
             raise ValueError(f"scenario {self.name!r} must define 'small' and 'full' presets")
         _validate_drift(self.drift)
@@ -236,6 +282,13 @@ class Scenario:
         network = preset.network if preset.network is not None else self.network
         return tuple(faults), tuple(drift), tuple(network)
 
+    def cache_schedule(self, preset: Preset) -> tuple[CacheEvent, ...]:
+        """Effective cache-tier events under ``preset`` overrides."""
+        events = (
+            preset.cache_events if preset.cache_events is not None else self.cache_events
+        )
+        return tuple(events)
+
     # ------------------------------------------------------------------ #
     # Dict / JSON round-trip
     # ------------------------------------------------------------------ #
@@ -248,10 +301,11 @@ class Scenario:
         payload["faults"] = [asdict(e) for e in self.faults]
         payload["drift"] = [asdict(p) for p in self.drift]
         payload["network"] = [asdict(w) for w in self.network]
+        payload["cache_events"] = [asdict(e) for e in self.cache_events]
         payload["presets"] = {}
         for preset_name, preset in self.presets.items():
             entry = asdict(preset)
-            for key in ("faults", "drift", "network"):
+            for key in ("faults", "drift", "network", "cache_events"):
                 value = getattr(preset, key)
                 entry[key] = None if value is None else [asdict(item) for item in value]
             payload["presets"][preset_name] = entry
@@ -267,6 +321,7 @@ class Scenario:
         data["faults"] = tuple(FaultEvent(**e) for e in data.get("faults", ()))
         data["drift"] = tuple(DriftPhase(**p) for p in data.get("drift", ()))
         data["network"] = tuple(NetworkWindow(**w) for w in data.get("network", ()))
+        data["cache_events"] = tuple(CacheEvent(**e) for e in data.get("cache_events", ()))
         presets = {}
         for preset_name, entry in data.get("presets", {}).items():
             entry = dict(entry)
@@ -276,6 +331,8 @@ class Scenario:
                 entry["drift"] = tuple(DriftPhase(**p) for p in entry["drift"])
             if entry.get("network") is not None:
                 entry["network"] = tuple(NetworkWindow(**w) for w in entry["network"])
+            if entry.get("cache_events") is not None:
+                entry["cache_events"] = tuple(CacheEvent(**e) for e in entry["cache_events"])
             presets[preset_name] = Preset(**entry)
         data["presets"] = presets
         return cls(**data)

@@ -296,11 +296,40 @@ def _build_shard_system(payload: dict):
 
     _, _, network = scenario.schedule(preset_spec)
     for window in network:
+        if window.node is not None:
+            # Per-cache-node window: each shard replicates the tier's node
+            # timeline (every shard owns a full tier over its own slice).
+            serving.cache.schedule_node_condition(
+                window.node,
+                window.start_minute * 60.0,
+                window.end_minute * 60.0,
+                NetworkCondition(window.condition),
+            )
+            continue
         serving.network.schedule_condition(
             window.start_minute * 60.0,
             window.end_minute * 60.0,
             NetworkCondition(window.condition),
         )
+    for event in scenario.cache_schedule(preset_spec):
+        at_s = event.at_minute * 60.0
+        cache = serving.cache
+        if event.action == "add_node":
+            serving.engine.schedule_at(
+                at_s, lambda _e, c=cache: c.add_node(now_s=_e.now), name="cache-add-node"
+            )
+        elif event.action == "remove_node":
+            serving.engine.schedule_at(
+                at_s,
+                lambda _e, c=cache, node=event.node: c.remove_node(node, now_s=_e.now),
+                name=f"cache-remove-node-{event.node}",
+            )
+        else:
+            serving.engine.schedule_at(
+                at_s,
+                lambda _e, c=cache, f=event.fraction, s=event.seed: c.poison(f, seed=s),
+                name="cache-poison",
+            )
     for local_id, fail_at_s, recover_at_s, degrade_factor in payload.get("faults") or ():
         if degrade_factor is not None:
             serving.cluster.schedule_degradation(
@@ -619,13 +648,9 @@ def _finalize(serving, spec: ShardSpec, trace, recorder) -> messages.ShardResult
         extras["autoscale_events"] = [asdict(event) for event in autoscaler.events]
         extras["scale_denials"] = int(autoscaler.denied_requests)
     if serving.cache is not None:
-        # Mirror ApproximateCache.hit_rate: the default store plus every
-        # tenant namespace (tenant-partitioned runs keep hits in the latter).
-        hits = serving.cache.store.stats.hits
-        misses = serving.cache.store.stats.misses
-        for namespace in serving.cache._namespaces.values():
-            hits += namespace.store.stats.hits
-            misses += namespace.store.stats.misses
+        # store_counts() folds every namespace (flat cache) or every cache
+        # node (distributed tier) into one hit/miss pair.
+        hits, misses = serving.cache.store_counts()
         extras["cache_store_hits"] = int(hits)
         extras["cache_store_misses"] = int(misses)
         extras["retrieval_hits"] = int(serving.cache.retrieval_hits)
@@ -1259,6 +1284,13 @@ def run_scenario_sharded(
         ],
         "barriers": barrier_log,
     }
+    # Barrier-aligned global fleet peak: the summed per-shard peaks in the
+    # merged summary need not be simultaneous, but every barrier records the
+    # true global in-fleet count at one synchronized instant — the peak over
+    # those samples is what the fleet-budget contract bounds.
+    fleet_samples = [entry["in_fleet"] for entry in barrier_log if "in_fleet" in entry]
+    if fleet_samples:
+        extras["sharding"]["fleet_peak_barrier_aligned"] = int(max(fleet_samples))
     if broker is not None:
         extras["fleet_budget"] = {
             "min_workers": broker.min_workers,

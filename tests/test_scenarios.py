@@ -276,7 +276,27 @@ SCENARIO_CHECKS = {
         row["entries"] == row["quota"]
         for row in run.extras["cache_tenants"].values()
     ),
+    # Cache-tier family: each check pins the tier mechanism under test
+    # actually firing (the cache-tier contract certifies the ledgers).
+    "cache-node-failure": lambda run: run.extras["cache_tier"]["shards"] == 3
+    and _replica_reads(run) > 0,
+    "cache-shard-rebalance": lambda run: run.extras["cache_tier"]["shards"] == 3
+    and run.extras["cache_tier"]["moved_entries"] > 0,
+    "cache-hot-shard": lambda run: run.extras["cache_tier"]["replication"] == 2
+    and _replica_reads(run) > 0,
+    "chaos-cache-poison": lambda run: run.extras["cache_tier"]["poison"][
+        "entries_poisoned"
+    ]
+    > 0
+    and run.extras["cache_tier"]["poison"]["served"] == 0,
 }
+
+
+def _replica_reads(run) -> int:
+    return sum(
+        row["replica_reads"]
+        for row in run.extras["cache_tier"]["per_shard"].values()
+    )
 
 
 def _admission_storm_ok(run):
@@ -424,7 +444,9 @@ def _one(report, contract):
 class TestContracts:
     def test_vocabulary(self):
         assert contract_names() == [
+            "cache-poison",
             "cache-quota",
+            "cache-tier",
             "conservation",
             "fairness",
             "fleet-budget",
